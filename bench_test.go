@@ -1,0 +1,196 @@
+package repro_test
+
+// One benchmark family per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment at a reduced-but-faithful
+// scale (full paper scale is available via `cmd/tables -paper-scale`)
+// and reports the headline quantity (accuracy, probability) through
+// b.ReportMetric so `go test -bench` output stands alone.
+//
+//	Table 1   → BenchmarkTable1TrailWeights
+//	Table 2   → BenchmarkTable2GimliHash, BenchmarkTable2GimliCipher
+//	Table 3   → BenchmarkTable3ArchSearch
+//	Figure 1  → BenchmarkFigure1GiftToy
+//	§2.3      → BenchmarkGohrSpeck (baseline)
+//	§3/§4     → BenchmarkOracleGameOnline (online-phase complexity)
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gift"
+	"repro/internal/prng"
+	"repro/internal/trails"
+)
+
+// BenchmarkTable1TrailWeights regenerates the verifiable rows of
+// Table 1: the constructive trails for 1–3 rounds of GIMLI, whose
+// Monte-Carlo probabilities must be 1, 1 and 2^-2 (weights 0, 0, 2).
+func BenchmarkTable1TrailWeights(b *testing.B) {
+	for _, rounds := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			r := prng.New(1)
+			var p float64
+			for i := 0; i < b.N; i++ {
+				switch rounds {
+				case 1:
+					p = trails.EstimateDP(trails.TwoRoundTrailInput, trails.OneRoundTrailOutput, 1, 2000, r)
+				case 2:
+					p = trails.EstimateDP(trails.TwoRoundTrailInput, trails.TwoRoundTrailOutput, 2, 2000, r)
+				case 3:
+					p = trails.EstimateDP(trails.TwoRoundTrailInput, trails.ThreeRoundTrailOutput, 3, 2000, r)
+				}
+			}
+			b.ReportMetric(math.Abs(math.Log2(p)), "weight") // Abs: avoid IEEE −0 for probability-1 trails
+		})
+	}
+}
+
+// table2Bench trains one Table 2 cell per iteration at bench scale and
+// reports the measured accuracy against the paper's.
+func table2Bench(b *testing.B, target string, rounds int, paperAcc float64) {
+	b.Helper()
+	sc := experiments.Scale{TrainPerClass: 4096, ValPerClass: 2048, Epochs: 3, Hidden: 128}
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Table2Cell(target, rounds, sc, 2020)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = row.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+	b.ReportMetric(paperAcc, "paper-accuracy")
+}
+
+// BenchmarkTable2GimliHash regenerates the GIMLI-HASH column of
+// Table 2 (paper: 0.9689 / 0.7229 / 0.5219).
+func BenchmarkTable2GimliHash(b *testing.B) {
+	for i, rounds := range []int{6, 7, 8} {
+		paper := experiments.Table2PaperAcc["gimli-hash"][i]
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			table2Bench(b, "gimli-hash", rounds, paper)
+		})
+	}
+}
+
+// BenchmarkTable2GimliCipher regenerates the GIMLI-CIPHER column of
+// Table 2 (paper: 0.9528 / 0.6340 / 0.5099).
+func BenchmarkTable2GimliCipher(b *testing.B) {
+	for i, rounds := range []int{6, 7, 8} {
+		paper := experiments.Table2PaperAcc["gimli-cipher"][i]
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			table2Bench(b, "gimli-cipher", rounds, paper)
+		})
+	}
+}
+
+// BenchmarkTable3ArchSearch regenerates Table 3: one sub-benchmark per
+// architecture, training on 8-round GIMLI-CIPHER. CNNs are expected to
+// sit at accuracy ≈ 0.5 (the paper's negative result); at this bench
+// scale the 8-round MLP accuracies are near 0.5 too — the ordering,
+// not the absolute value, is the reproducible signal here (run
+// cmd/archsearch with more data for sharper numbers).
+func BenchmarkTable3ArchSearch(b *testing.B) {
+	for _, row := range []struct {
+		name     string
+		paperAcc float64
+		perClass int
+	}{
+		{"mlp1", 0.5465, 2048},
+		{"mlp2", 0.5462, 2048},
+		{"mlp3", 0.5654, 1024},
+		{"mlp4", 0.5473, 2048},
+		{"mlp5", 0.5470, 2048},
+		{"mlp6", 0.5476, 1024},
+		{"lstm1", 0.5305, 256},
+		{"lstm2", 0.5324, 256},
+		{"cnn1", 0.5000, 1024},
+		{"cnn2", 0.5000, 1024},
+	} {
+		b.Run(row.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table3(experiments.Table3Config{
+					Rounds:        8,
+					TrainPerClass: row.perClass,
+					ValPerClass:   row.perClass / 2,
+					Epochs:        2,
+					Seed:          2020,
+					Archs:         []string{row.name},
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = rows[0].Accuracy
+			}
+			b.ReportMetric(acc, "accuracy")
+			b.ReportMetric(row.paperAcc, "paper-accuracy")
+		})
+	}
+}
+
+// BenchmarkFigure1GiftToy regenerates the Figure 1 experiment: the
+// exhaustive toy-cipher enumeration whose exact probability (2^-6)
+// beats the Markov product (2^-9).
+func BenchmarkFigure1GiftToy(b *testing.B) {
+	var rep gift.ExhaustiveReport
+	for i := 0; i < b.N; i++ {
+		rep = gift.Exhaustive(gift.PaperCharacteristic)
+	}
+	b.ReportMetric(-math.Log2(rep.ExactProb), "exact-weight")
+	b.ReportMetric(-math.Log2(rep.MarkovProb), "markov-weight")
+}
+
+// BenchmarkGohrSpeck regenerates the Section 2.3 baseline: a
+// real-vs-random neural distinguisher on 5-round SPECK-32/64.
+func BenchmarkGohrSpeck(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewSpeckScenario(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 64, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Epochs = 3
+		d, err := core.Train(s, c, core.TrainConfig{TrainPerClass: 4096, ValPerClass: 1024, Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = d.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkOracleGameOnline measures the online phase (Section 4's
+// 2^14.3-query side): queries per second through a trained
+// distinguisher, the quantity that prices the online data complexity.
+func BenchmarkOracleGameOnline(b *testing.B) {
+	s, err := core.NewGimliCipherScenario(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 128, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Epochs = 3
+	d, err := core.Train(s, c, core.TrainConfig{TrainPerClass: 4096, ValPerClass: 1024, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := prng.New(9)
+	oracle := core.CipherOracle{S: s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Distinguish(oracle, 256, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(256, "queries/op")
+}

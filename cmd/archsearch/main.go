@@ -1,0 +1,117 @@
+// Command archsearch reproduces Table 3 of the paper: the manual
+// neural-architecture search on 8-round GIMLI-CIPHER across six MLPs,
+// two LSTMs and two CNNs. It is a focused front-end for the same
+// experiment code as `tables -table 3`, with per-architecture
+// selection for quick iteration.
+//
+// Examples:
+//
+//	archsearch                       # all ten architectures, quick scale
+//	archsearch -archs mlp2,mlp3      # a subset
+//	archsearch -rounds 7 -epochs 10  # off-paper exploration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/nas"
+	"repro/internal/nn"
+)
+
+func main() {
+	var (
+		archsFlag = flag.String("archs", "", "comma-separated subset of: "+strings.Join(nn.Table3Names, ","))
+		rounds    = flag.Int("rounds", 8, "GIMLI-CIPHER rounds")
+		train     = flag.Int("train", 8192, "training samples per class (paper: 2^17 total)")
+		val       = flag.Int("val", 2048, "validation samples per class")
+		epochs    = flag.Int("epochs", 5, "training epochs (paper: 5)")
+		seed      = flag.Uint64("seed", 2020, "experiment seed")
+		auto      = flag.Int("auto", 0, "instead of Table 3, run N trials of automated random search (Bergstra–Bengio)")
+	)
+	flag.Parse()
+
+	if *auto > 0 {
+		if err := runAuto(*auto, *rounds, *train, *val, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "archsearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := experiments.Table3Config{
+		Rounds:        *rounds,
+		TrainPerClass: *train,
+		ValPerClass:   *val,
+		Epochs:        *epochs,
+		Seed:          *seed,
+	}
+	if *archsFlag != "" {
+		cfg.Archs = strings.Split(*archsFlag, ",")
+	}
+
+	fmt.Printf("manual architecture search: %d-round GIMLI-CIPHER, %d train/class, %d epochs\n",
+		*rounds, *train, *epochs)
+	rows, err := experiments.Table3(cfg, func(line string) {
+		fmt.Fprintln(os.Stderr, "  ...", line)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "archsearch:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Println("arch    params    accuracy  train-acc  paper-acc  train-time   note")
+	for _, r := range rows {
+		note := ""
+		if r.Err != "" {
+			note = "no distinguisher at this budget"
+		}
+		if r.Params != r.PaperParams {
+			if note != "" {
+				note += "; "
+			}
+			note += fmt.Sprintf("paper prints %d params (see DESIGN.md)", r.PaperParams)
+		}
+		fmt.Printf("%-6s  %8d  %8.4f  %9.4f  %9.4f  %11s  %s\n",
+			r.Name, r.Params, r.Accuracy, r.TrainAcc, r.PaperAcc,
+			experiments.FormatDuration(r.TrainTime), note)
+	}
+}
+
+// runAuto runs the automated random architecture search of
+// internal/nas and prints the leaderboard.
+func runAuto(trials, rounds, train, val int, seed uint64) error {
+	s, err := core.NewGimliCipherScenario(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("automated random search: %d trials on %d-round GIMLI-CIPHER (%d train/class)\n",
+		trials, rounds, train)
+	cands, err := nas.Search(s, nas.Config{
+		Trials:        trials,
+		TrainPerClass: train,
+		ValPerClass:   val,
+		Seed:          seed,
+		OnTrial: func(i int, c nas.Candidate) {
+			fmt.Fprintf(os.Stderr, "  ... trial %d: %s %s acc=%.4f (%s)\n",
+				i, c.Describe(s.FeatureLen()), c.Activation, c.Accuracy,
+				experiments.FormatDuration(c.TrainTime))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("rank  architecture                 act        params    epochs  lr      accuracy  train-time")
+	for i, c := range cands {
+		fmt.Printf("%4d  %-27s  %-9s  %8d  %6d  %.4f  %8.4f  %s\n",
+			i+1, c.Describe(s.FeatureLen()), c.Activation, c.Params, c.Epochs, c.LR,
+			c.Accuracy, experiments.FormatDuration(c.TrainTime))
+	}
+	return nil
+}

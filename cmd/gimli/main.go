@@ -1,0 +1,222 @@
+// Command gimli exposes the GIMLI primitives from the command line:
+// the raw permutation, GIMLI-HASH, and GIMLI-CIPHER AEAD.
+//
+// Examples:
+//
+//	gimli permute -state <96 hex chars> [-rounds 24]
+//	gimli hash -in message.txt            # or -msg "text"
+//	gimli xof -msg "text" -n 64           # 64 bytes of XOF output
+//	gimli seal -key <64 hex> -nonce <32 hex> -msg "text" [-ad "hdr"]
+//	gimli open -key <64 hex> -nonce <32 hex> -ct <hex> [-ad "hdr"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bits"
+	"repro/internal/duplex"
+	"repro/internal/gimli"
+	"repro/internal/sponge"
+)
+
+// stdout is swapped for a buffer by the tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "permute":
+		err = cmdPermute(os.Args[2:])
+	case "hash":
+		err = cmdHash(os.Args[2:])
+	case "xof":
+		err = cmdXOF(os.Args[2:])
+	case "seal":
+		err = cmdSeal(os.Args[2:])
+	case "open":
+		err = cmdOpen(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gimli: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gimli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gimli <subcommand> [flags]
+
+subcommands:
+  permute  apply the (round-reduced) permutation to a 48-byte hex state
+  hash     GIMLI-HASH a message or file
+  xof      arbitrary-length GIMLI-HASH output (XOF mode)
+  seal     GIMLI-CIPHER authenticated encryption
+  open     GIMLI-CIPHER verified decryption`)
+}
+
+func cmdPermute(args []string) error {
+	fs := flag.NewFlagSet("permute", flag.ExitOnError)
+	stateHex := fs.String("state", "", "48-byte state as 96 hex chars (default: all zero)")
+	rounds := fs.Int("rounds", gimli.FullRounds, "number of rounds")
+	inverse := fs.Bool("inverse", false, "apply the inverse permutation")
+	fs.Parse(args)
+
+	var s gimli.State
+	if *stateHex != "" {
+		b, err := bits.FromHex(*stateHex)
+		if err != nil {
+			return err
+		}
+		if len(b) != gimli.StateBytes {
+			return fmt.Errorf("state must be %d bytes, got %d", gimli.StateBytes, len(b))
+		}
+		s.SetBytes(b)
+	}
+	if *rounds < 0 || *rounds > gimli.FullRounds {
+		return fmt.Errorf("rounds must be in [0, %d]", gimli.FullRounds)
+	}
+	if *inverse {
+		gimli.InverseRounds(&s, *rounds)
+	} else {
+		gimli.PermuteRounds(&s, *rounds)
+	}
+	fmt.Fprintln(stdout, bits.Hex(s.Bytes()))
+	return nil
+}
+
+func cmdHash(args []string) error {
+	fs := flag.NewFlagSet("hash", flag.ExitOnError)
+	msg := fs.String("msg", "", "message string")
+	in := fs.String("in", "", "input file (overrides -msg; '-' for stdin)")
+	rounds := fs.Int("rounds", gimli.FullRounds, "rounds per permutation call")
+	fs.Parse(args)
+
+	h := sponge.NewHash(*rounds)
+	switch {
+	case *in == "-":
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := os.Stdin.Read(buf)
+			if n > 0 {
+				h.Write(buf[:n])
+			}
+			if err != nil {
+				break
+			}
+		}
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		h.Write(data)
+	default:
+		h.Write([]byte(*msg))
+	}
+	fmt.Fprintln(stdout, bits.Hex(h.Sum(nil)))
+	return nil
+}
+
+func parseKeyNonce(keyHex, nonceHex string) (key, nonce []byte, err error) {
+	key, err = bits.FromHex(keyHex)
+	if err != nil {
+		return nil, nil, fmt.Errorf("key: %w", err)
+	}
+	if len(key) != duplex.KeySize {
+		return nil, nil, fmt.Errorf("key must be %d bytes, got %d", duplex.KeySize, len(key))
+	}
+	nonce, err = bits.FromHex(nonceHex)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nonce: %w", err)
+	}
+	if len(nonce) != duplex.NonceSize {
+		return nil, nil, fmt.Errorf("nonce must be %d bytes, got %d", duplex.NonceSize, len(nonce))
+	}
+	return key, nonce, nil
+}
+
+func cmdSeal(args []string) error {
+	fs := flag.NewFlagSet("seal", flag.ExitOnError)
+	keyHex := fs.String("key", "", "256-bit key as 64 hex chars")
+	nonceHex := fs.String("nonce", "", "128-bit nonce as 32 hex chars")
+	msg := fs.String("msg", "", "plaintext string")
+	ad := fs.String("ad", "", "associated data string")
+	rounds := fs.Int("rounds", gimli.FullRounds, "rounds per permutation call")
+	fs.Parse(args)
+
+	key, nonce, err := parseKeyNonce(*keyHex, *nonceHex)
+	if err != nil {
+		return err
+	}
+	a, err := duplex.NewReduced(key, *rounds)
+	if err != nil {
+		return err
+	}
+	ct, err := a.Seal(nil, nonce, []byte(*msg), []byte(*ad))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, bits.Hex(ct))
+	return nil
+}
+
+func cmdOpen(args []string) error {
+	fs := flag.NewFlagSet("open", flag.ExitOnError)
+	keyHex := fs.String("key", "", "256-bit key as 64 hex chars")
+	nonceHex := fs.String("nonce", "", "128-bit nonce as 32 hex chars")
+	ctHex := fs.String("ct", "", "ciphertext ‖ tag as hex")
+	ad := fs.String("ad", "", "associated data string")
+	rounds := fs.Int("rounds", gimli.FullRounds, "rounds per permutation call")
+	fs.Parse(args)
+
+	key, nonce, err := parseKeyNonce(*keyHex, *nonceHex)
+	if err != nil {
+		return err
+	}
+	ct, err := bits.FromHex(*ctHex)
+	if err != nil {
+		return fmt.Errorf("ciphertext: %w", err)
+	}
+	a, err := duplex.NewReduced(key, *rounds)
+	if err != nil {
+		return err
+	}
+	pt, err := a.Open(nil, nonce, ct, []byte(*ad))
+	if err != nil {
+		return err
+	}
+	stdout.Write(pt)
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+func cmdXOF(args []string) error {
+	fs := flag.NewFlagSet("xof", flag.ExitOnError)
+	msg := fs.String("msg", "", "message string")
+	n := fs.Int("n", 32, "output length in bytes")
+	rounds := fs.Int("rounds", gimli.FullRounds, "rounds per permutation call")
+	fs.Parse(args)
+
+	if *n < 0 {
+		return fmt.Errorf("output length must be non-negative, got %d", *n)
+	}
+	x := sponge.NewXOFRounds(*rounds)
+	x.Write([]byte(*msg))
+	out := make([]byte, *n)
+	x.Read(out)
+	fmt.Fprintln(stdout, bits.Hex(out))
+	return nil
+}

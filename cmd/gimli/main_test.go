@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects the command's stdout into a buffer for the test.
+func capture(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	buf := &bytes.Buffer{}
+	old := stdout
+	stdout = buf
+	t.Cleanup(func() { stdout = old })
+	return buf
+}
+
+const (
+	zeroKey   = "0000000000000000000000000000000000000000000000000000000000000000"
+	zeroNonce = "00000000000000000000000000000000"
+)
+
+func TestCmdHashMatchesLibrary(t *testing.T) {
+	buf := capture(t)
+	if err := cmdHash([]string{"-msg", "gimli"}); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := "a0d2977e23a8567ee164a572a811fddb542dacdbc460082dac347baf8ef3e1dd"
+	if got != want {
+		t.Fatalf("hash = %s, want %s", got, want)
+	}
+}
+
+func TestCmdHashFile(t *testing.T) {
+	buf := capture(t)
+	path := t.TempDir() + "/msg.txt"
+	if err := os.WriteFile(path, []byte("gimli"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdHash([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a0d2977e") {
+		t.Fatalf("file hash = %s", buf.String())
+	}
+	if err := cmdHash([]string{"-in", t.TempDir() + "/missing"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCmdPermuteRoundTrip(t *testing.T) {
+	buf := capture(t)
+	state := strings.Repeat("0123456789ab", 8) // 96 hex chars
+	if err := cmdPermute([]string{"-state", state, "-rounds", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	mid := strings.TrimSpace(buf.String())
+	buf.Reset()
+	if err := cmdPermute([]string{"-state", mid, "-rounds", "8", "-inverse"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != state {
+		t.Fatalf("inverse round trip: %s != %s", got, state)
+	}
+}
+
+func TestCmdPermuteValidation(t *testing.T) {
+	capture(t)
+	if err := cmdPermute([]string{"-state", "zz"}); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if err := cmdPermute([]string{"-state", "abcd"}); err == nil {
+		t.Error("short state accepted")
+	}
+	if err := cmdPermute([]string{"-rounds", "25"}); err == nil {
+		t.Error("25 rounds accepted")
+	}
+}
+
+func TestCmdSealOpenRoundTrip(t *testing.T) {
+	buf := capture(t)
+	if err := cmdSeal([]string{"-key", zeroKey, "-nonce", zeroNonce, "-msg", "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	ct := strings.TrimSpace(buf.String())
+	if ct != "24a07640523a62669f2a3f158bdb72d622ea" {
+		t.Fatalf("ciphertext = %s", ct)
+	}
+	buf.Reset()
+	if err := cmdOpen([]string{"-key", zeroKey, "-nonce", zeroNonce, "-ct", ct}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "hi" {
+		t.Fatalf("plaintext = %q", got)
+	}
+}
+
+func TestCmdOpenRejectsTampering(t *testing.T) {
+	buf := capture(t)
+	if err := cmdSeal([]string{"-key", zeroKey, "-nonce", zeroNonce, "-msg", "hi", "-ad", "hdr"}); err != nil {
+		t.Fatal(err)
+	}
+	ct := strings.TrimSpace(buf.String())
+	if err := cmdOpen([]string{"-key", zeroKey, "-nonce", zeroNonce, "-ct", ct, "-ad", "HDR"}); err == nil {
+		t.Fatal("wrong AD accepted")
+	}
+	// Flip a ciphertext nibble.
+	mod := "f" + ct[1:]
+	if mod == ct {
+		mod = "0" + ct[1:]
+	}
+	if err := cmdOpen([]string{"-key", zeroKey, "-nonce", zeroNonce, "-ct", mod}); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestKeyNonceValidation(t *testing.T) {
+	capture(t)
+	if err := cmdSeal([]string{"-key", "abcd", "-nonce", zeroNonce}); err == nil {
+		t.Error("short key accepted")
+	}
+	if err := cmdSeal([]string{"-key", zeroKey, "-nonce", "abcd"}); err == nil {
+		t.Error("short nonce accepted")
+	}
+	if err := cmdOpen([]string{"-key", zeroKey, "-nonce", zeroNonce, "-ct", "zz"}); err == nil {
+		t.Error("bad ciphertext hex accepted")
+	}
+	if err := cmdSeal([]string{"-key", zeroKey, "-nonce", zeroNonce, "-rounds", "0"}); err == nil {
+		t.Error("0 rounds accepted")
+	}
+}
+
+func TestCmdXOF(t *testing.T) {
+	buf := capture(t)
+	if err := cmdXOF([]string{"-msg", "gimli", "-n", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	// The 32-byte XOF prefix is the hash.
+	if got := strings.TrimSpace(buf.String()); got != "a0d2977e23a8567ee164a572a811fddb542dacdbc460082dac347baf8ef3e1dd" {
+		t.Fatalf("xof prefix = %s", got)
+	}
+	buf.Reset()
+	if err := cmdXOF([]string{"-msg", "gimli", "-n", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	long := strings.TrimSpace(buf.String())
+	if len(long) != 128 || !strings.HasPrefix(long, "a0d2977e") {
+		t.Fatalf("64-byte xof = %s", long)
+	}
+	if err := cmdXOF([]string{"-n", "-1"}); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}

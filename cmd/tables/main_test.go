@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func captureOut(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	buf := &bytes.Buffer{}
+	old := out
+	out = buf
+	t.Cleanup(func() { out = old })
+	return buf
+}
+
+func TestPrintFigure1(t *testing.T) {
+	buf := captureOut(t)
+	if err := printFigure1(); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"2^-6", "2^-9", "4 of 256"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPrintRandomAccuracy(t *testing.T) {
+	buf := captureOut(t)
+	if err := printRandomAccuracy(); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "0.50000") || !strings.Contains(s, "0.03125") {
+		t.Fatalf("E/t output missing the paper's values:\n%s", s)
+	}
+}
+
+func TestPrintComplexity(t *testing.T) {
+	buf := captureOut(t)
+	if err := printComplexity(); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "52") || !strings.Contains(s, "17.6") || !strings.Contains(s, "14.3") {
+		t.Fatalf("complexity output missing headline numbers:\n%s", s)
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	buf := captureOut(t)
+	if err := printTable1(2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "proven exactly") {
+		t.Fatalf("table 1 output missing exact verification:\n%s", s)
+	}
+	if strings.Contains(s, "false") {
+		t.Fatalf("table 1 contains an unverified row:\n%s", s)
+	}
+}
+
+func TestPrintTable2QuickCell(t *testing.T) {
+	// A tiny scale so the printer path is exercised end to end.
+	buf := captureOut(t)
+	sc := tinyScale()
+	if err := printTable2(sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "gimli-hash") || !strings.Contains(s, "gimli-cipher") {
+		t.Fatalf("table 2 output missing targets:\n%s", s)
+	}
+}
+
+func TestPrintMulticlassAndAblation(t *testing.T) {
+	buf := captureOut(t)
+	sc := tinyScale()
+	if err := printMulticlass(sc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := printAblation(sc, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "baseline") || !strings.Contains(s, "bit-bias") {
+		t.Fatalf("multiclass/ablation output incomplete:\n%s", s)
+	}
+}
+
+// tinyScale keeps printer tests fast: the experiments themselves are
+// validated at realistic scales in internal/experiments.
+func tinyScale() experiments.Scale {
+	return experiments.Scale{TrainPerClass: 256, ValPerClass: 256, Epochs: 1, Hidden: 16}
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "Machine Learning
+// Assisted Differential Distinguishers For Lightweight Ciphers"
+// (Baksi, Breier, Dong, Yi — DATE 2021).
+//
+// The library implements the paper's ML-assisted differential
+// distinguisher (internal/core) together with every substrate it
+// needs: the GIMLI permutation with GIMLI-HASH and GIMLI-CIPHER
+// (internal/gimli, internal/sponge, internal/duplex), SPECK-32/64 for
+// the Gohr baseline (internal/speck), the GIFT toy cipher of Figure 1
+// (internal/gift), classical differential-analysis tooling
+// (internal/ddt, internal/trails), a pure-Go neural-network stack with
+// MLP/CNN/LSTM layers and Adam (internal/nn), alternative classifiers
+// (internal/svm), and the statistics of the decision rule
+// (internal/stats).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation; cmd/tables prints them as tables.
+package repro

@@ -1,0 +1,85 @@
+// The Section 4 GIMLI-CIPHER experiment in the nonce-respecting
+// setting, plus a demonstration that the very same AEAD — at its full
+// 24 rounds — works as a real cipher and resists the distinguisher.
+//
+// The attack model: the adversary chooses nonce pairs differing in
+// byte 4 or byte 12, obtains the first ciphertext block c0 of a zero
+// message under fresh random keys, and classifies Δc0 by which nonce
+// difference was used. At 8 reduced rounds this succeeds with
+// accuracy ≈ 0.51 given enough data (paper: 0.5099); at the full 24
+// rounds it must fail — which this example verifies as its negative
+// control.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/duplex"
+	"repro/internal/prng"
+)
+
+func main() {
+	// Part 1: GIMLI-CIPHER as an actual AEAD (full rounds).
+	r := prng.New(1)
+	key := r.Bytes(duplex.KeySize)
+	nonce := r.Bytes(duplex.NonceSize)
+	aead, err := duplex.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct, err := aead.Seal(nil, nonce, []byte("attack at dawn"), []byte("header"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt, err := aead.Open(nil, nonce, ct, []byte("header"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AEAD round-trip: %q → %s → %q\n", "attack at dawn", bits.Hex(ct), pt)
+
+	// Tampering must fail.
+	ct[0] ^= 1
+	if _, err := aead.Open(nil, nonce, ct, []byte("header")); !errors.Is(err, duplex.ErrAuth) {
+		log.Fatal("tampered ciphertext was accepted!")
+	}
+	fmt.Println("tampered ciphertext rejected ✓")
+
+	// Part 2: the distinguisher against the round-reduced
+	// initialization.
+	for _, rounds := range []int{6, 7} {
+		s, err := core.NewGimliCipherScenario(rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clf, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 128, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := core.Train(s, clf, core.TrainConfig{TrainPerClass: 8192, ValPerClass: 2048, Seed: 99})
+		if err != nil {
+			log.Fatal(err)
+		}
+		games, err := d.PlayGames(10, 0, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d rounds: accuracy %.4f, oracle games won %d/%d\n",
+			rounds, d.Accuracy, games.Correct, games.Games)
+	}
+
+	// Part 3: negative control — the full-round cipher is not
+	// distinguishable; Algorithm 2 aborts.
+	s, _ := core.NewGimliCipherScenario(24)
+	clf, _ := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 64, 7)
+	clf.Epochs = 3
+	_, err = core.Train(s, clf, core.TrainConfig{TrainPerClass: 4096, ValPerClass: 2048, Seed: 7})
+	if errors.Is(err, core.ErrNoDistinguisher) {
+		fmt.Println("24 rounds: no distinguisher (Algorithm 2 aborts) ✓")
+	} else {
+		log.Fatalf("full-round GIMLI looked distinguishable: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+// The genericity claim of the paper's conclusion ("our work is
+// generic, and can be applied to any symmetric key primitive where the
+// differential cryptanalysis can be applied"), demonstrated by running
+// the identical Algorithm 2 pipeline against six different primitives:
+// the paper's two GIMLI targets, Gohr's SPECK, the conclusion's GIFT,
+// and the two non-Markov stream ciphers of Section 2.1 — Salsa20 and
+// Trivium.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+type target struct {
+	label string
+	build func() (core.Scenario, error)
+}
+
+func main() {
+	targets := []target{
+		{"GIMLI-HASH, 6 of 24 rounds", func() (core.Scenario, error) { return core.NewGimliHashScenario(6) }},
+		{"GIMLI-CIPHER, 6 of 24 rounds", func() (core.Scenario, error) { return core.NewGimliCipherScenario(6) }},
+		{"SPECK-32/64, 5 of 22 rounds", func() (core.Scenario, error) { return core.NewSpeckScenario(5) }},
+		{"GIFT-64, 3 of 28 rounds", func() (core.Scenario, error) { return core.NewGift64Scenario(3) }},
+		{"Salsa20 core, 2 of 20 rounds", func() (core.Scenario, error) { return core.NewSalsaScenario(2) }},
+		{"Trivium, 288 of 1152 init clocks", func() (core.Scenario, error) { return core.NewTriviumScenario(288) }},
+	}
+
+	fmt.Println("one framework, six primitives — same code path for each:")
+	fmt.Println()
+	for _, tgt := range targets {
+		s, err := tgt.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		clf, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 128, 2020)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clf.Epochs = 3
+		d, err := core.Train(s, clf, core.TrainConfig{
+			TrainPerClass: 4096,
+			ValPerClass:   1024,
+			Seed:          2020,
+		})
+		switch {
+		case err == nil:
+			games, gerr := d.PlayGames(10, 0, 1)
+			if gerr != nil {
+				log.Fatal(gerr)
+			}
+			fmt.Printf("%-34s accuracy %.4f, oracle games %d/%d\n",
+				tgt.label, d.Accuracy, games.Correct, games.Games)
+		case errors.Is(err, core.ErrNoDistinguisher):
+			fmt.Printf("%-34s no distinguisher at this budget (a = %.4f)\n", tgt.label, d.Accuracy)
+		default:
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Println("feature widths ranged from 32 bits (SPECK) to 512 (Salsa); the")
+	fmt.Println("Scenario interface is the only thing that changed between rows.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: train a machine-learning differential distinguisher for
+// 6-round GIMLI-CIPHER and use it to tell the cipher from a random
+// oracle — the paper's Algorithm 2, end to end, in under a minute on a
+// laptop CPU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/prng"
+)
+
+func main() {
+	// 1. Choose the scenario: the paper's two nonce differences
+	//    (byte 4 and byte 12) against 6-round GIMLI-CIPHER.
+	scenario, err := core.NewGimliCipherScenario(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Choose a classifier: the paper's point is that a simple
+	//    three-layer MLP is enough.
+	clf, err := core.NewMLPClassifier(scenario.FeatureLen(), scenario.Classes(), 128, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Offline phase: generate labelled output differences and train.
+	fmt.Println("training on 2×8192 output differences …")
+	dist, err := core.Train(scenario, clf, core.TrainConfig{
+		TrainPerClass: 8192,
+		ValPerClass:   2048,
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline accuracy a = %.4f (random baseline 1/t = 0.5)\n", dist.Accuracy)
+
+	// 4. Online phase: query an unknown oracle and name it.
+	r := prng.New(7)
+	for _, oracle := range []struct {
+		name string
+		o    core.Oracle
+	}{
+		{"CIPHER", core.CipherOracle{S: scenario}},
+		{"RANDOM", core.RandomOracle{S: scenario}},
+	} {
+		res, err := dist.Distinguish(oracle.o, 1000, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oracle was %s → verdict %s (online accuracy a' = %.4f over %d queries)\n",
+			oracle.name, res.Verdict, res.Accuracy, res.Queries)
+	}
+}

@@ -1,0 +1,78 @@
+// The Gohr (CRYPTO 2019) baseline of Section 2.3: a real-vs-random
+// neural distinguisher for round-reduced SPECK-32/64 with the input
+// difference (0x0040, 0x0000), compared against the classical
+// sampled difference-distribution-table distinguisher.
+//
+// SPECK is a Markov cipher with a small block, so the all-in-one
+// distribution is tractable — that is why Gohr chose it, and why the
+// paper moves to GIMLI where only the ML route remains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ddt"
+	"repro/internal/prng"
+	"repro/internal/speck"
+)
+
+func main() {
+	r := prng.New(3)
+
+	for _, rounds := range []int{3, 5, 6, 7} {
+		// Neural route.
+		s, err := core.NewSpeckScenario(rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clf, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 128, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, trainErr := core.Train(s, clf, core.TrainConfig{TrainPerClass: 16384, ValPerClass: 4096, Seed: 17})
+		if d == nil {
+			log.Fatal(trainErr)
+		}
+
+		// Classical route: memorize the sampled all-in-one output
+		// distribution, classify fresh differences by table membership.
+		key := [4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()}
+		c := speck.New(key)
+		enc := func(p []byte) []byte {
+			return c.EncryptRounds(speck.BlockFromBytes(p), rounds).Bytes()
+		}
+		table := ddt.NewTableDistinguisher(
+			ddt.Sample(enc, speck.GohrDelta.Bytes(), 4, 32768, r))
+
+		// Evaluate the table distinguisher: hit rate on real pairs vs
+		// random differences (fresh key to be fair to the neural one).
+		key2 := [4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()}
+		c2 := speck.New(key2)
+		hits, falseHits := 0, 0
+		const n = 4096
+		for i := 0; i < n; i++ {
+			p := speck.Block{X: r.Uint16(), Y: r.Uint16()}
+			diff := c2.EncryptRounds(p, rounds).XOR(c2.EncryptRounds(p.XOR(speck.GohrDelta), rounds))
+			if table.Hit(diff.Bytes()) {
+				hits++
+			}
+			if table.Hit(r.Bytes(4)) {
+				falseHits++
+			}
+		}
+		tableAcc := (float64(hits) + float64(n-falseHits)) / float64(2*n)
+
+		note := ""
+		if trainErr != nil {
+			note = " (below significance at this budget)"
+		}
+		fmt.Printf("%d rounds: neural accuracy %.4f%s | sampled-DDT accuracy %.4f (hit %.3f, false-hit %.3f)\n",
+			rounds, d.Accuracy, note, tableAcc,
+			float64(hits)/n, float64(falseHits)/n)
+	}
+	fmt.Println("\nBoth distinguishers degrade with rounds; the neural model needs no")
+	fmt.Println("per-key table and generalizes across keys — Gohr's observation that")
+	fmt.Println("motivates the paper's all-in-one simulation for large-state GIMLI.")
+}

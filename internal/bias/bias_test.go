@@ -1,0 +1,127 @@
+package bias
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prng"
+)
+
+func measure(t *testing.T, rounds, perClass int) *Profile {
+	t.Helper()
+	s, err := core.NewGimliCipherScenario(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Measure(s, perClass, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMeasureShape(t *testing.T) {
+	p := measure(t, 6, 500)
+	if p.Classes != 2 || len(p.P) != 2 || len(p.P[0]) != 128 {
+		t.Fatalf("profile shape wrong: %d classes, %d×%d", p.Classes, len(p.P), len(p.P[0]))
+	}
+	for c := range p.P {
+		for j, v := range p.P[c] {
+			if v < 0 || v > 1 {
+				t.Fatalf("P[%d][%d] = %v", c, j, v)
+			}
+		}
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	s, _ := core.NewGimliCipherScenario(6)
+	if _, err := Measure(s, 0, prng.New(1)); err == nil {
+		t.Fatal("perClass 0 accepted")
+	}
+}
+
+func TestBiasDecaysWithRounds(t *testing.T) {
+	// The headline shape: strong per-bit signal at 4 rounds, weak at
+	// 8. This is the first-order version of Table 2's accuracy decay.
+	strong := measure(t, 4, 800)
+	weak := measure(t, 8, 800)
+	maxStrong, maxWeak := 0.0, 0.0
+	for _, g := range strong.MaxClassGap() {
+		if g > maxStrong {
+			maxStrong = g
+		}
+	}
+	for _, g := range weak.MaxClassGap() {
+		if g > maxWeak {
+			maxWeak = g
+		}
+	}
+	if maxStrong < 0.3 {
+		t.Fatalf("4-round max gap %v too small", maxStrong)
+	}
+	if maxWeak > maxStrong/2 {
+		t.Fatalf("8-round gap %v not much smaller than 4-round %v", maxWeak, maxStrong)
+	}
+}
+
+func TestTopBitsOrdering(t *testing.T) {
+	p := measure(t, 5, 500)
+	gaps := p.MaxClassGap()
+	top := p.TopBits(5)
+	if len(top) != 5 {
+		t.Fatalf("TopBits returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if gaps[top[i]] > gaps[top[i-1]] {
+			t.Fatal("TopBits not sorted")
+		}
+	}
+	all := p.TopBits(1000)
+	if len(all) != 128 {
+		t.Fatalf("TopBits overflow gave %d", len(all))
+	}
+}
+
+func TestNaiveAccuracyBound(t *testing.T) {
+	p := measure(t, 4, 800)
+	b := p.NaiveAccuracyBound()
+	if b < 0.5 || b > 1 {
+		t.Fatalf("bound %v out of range", b)
+	}
+	if b < 0.65 {
+		t.Fatalf("4-round naive bound %v implausibly weak", b)
+	}
+}
+
+func TestUniformDeviation(t *testing.T) {
+	p := measure(t, 4, 500)
+	devs := p.UniformDeviation()
+	max := 0.0
+	for _, d := range devs {
+		if d < 0 || d > 0.5 {
+			t.Fatalf("deviation %v out of [0, 0.5]", d)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max < 0.2 {
+		t.Fatalf("4-round max deviation %v too small", max)
+	}
+}
+
+func TestHeatRendering(t *testing.T) {
+	p := measure(t, 4, 300)
+	h := p.Heat(8)
+	if len([]rune(h)) != 16 { // 128 bits / 8 per char
+		t.Fatalf("heat strip length %d", len([]rune(h)))
+	}
+	if !strings.ContainsAny(h, "░▒▓█") {
+		t.Fatalf("4-round heat strip shows no signal: %q", h)
+	}
+	if p.Heat(0) == "" {
+		t.Fatal("stride 0 should clamp, not panic")
+	}
+}

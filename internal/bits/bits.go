@@ -1,0 +1,232 @@
+// Package bits provides the word-, byte- and bit-level utilities shared
+// by the cipher implementations and the machine-learning feature
+// encoders.
+//
+// The distinguisher of the paper feeds *output differences* — raw byte
+// strings — into a neural network. The bridge between the two worlds is
+// the bit expansion implemented here: each byte becomes eight {0,1}
+// float64 features, least-significant bit first, matching the canonical
+// little-endian word layout used by GIMLI and SPECK.
+package bits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RotL32 rotates x left by k bits. k is taken modulo 32.
+func RotL32(x uint32, k uint) uint32 {
+	k &= 31
+	if k == 0 {
+		return x
+	}
+	return (x << k) | (x >> (32 - k))
+}
+
+// RotR32 rotates x right by k bits. k is taken modulo 32.
+func RotR32(x uint32, k uint) uint32 {
+	k &= 31
+	if k == 0 {
+		return x
+	}
+	return (x >> k) | (x << (32 - k))
+}
+
+// RotL16 rotates x left by k bits. k is taken modulo 16.
+func RotL16(x uint16, k uint) uint16 {
+	k &= 15
+	if k == 0 {
+		return x
+	}
+	return (x << k) | (x >> (16 - k))
+}
+
+// RotR16 rotates x right by k bits. k is taken modulo 16.
+func RotR16(x uint16, k uint) uint16 {
+	k &= 15
+	if k == 0 {
+		return x
+	}
+	return (x >> k) | (x << (16 - k))
+}
+
+// Load32LE loads a little-endian uint32 from b, which must hold at
+// least 4 bytes.
+func Load32LE(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Store32LE stores v into b in little-endian order. b must hold at
+// least 4 bytes.
+func Store32LE(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// XOR sets dst = a ^ b elementwise. All three slices must have the same
+// length; dst may alias a or b.
+func XOR(dst, a, b []byte) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("bits: XOR length mismatch: dst=%d a=%d b=%d", len(dst), len(a), len(b)))
+	}
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// XORBytes returns a ^ b as a fresh slice. a and b must have the same
+// length.
+func XORBytes(a, b []byte) []byte {
+	dst := make([]byte, len(a))
+	XOR(dst, a, b)
+	return dst
+}
+
+// PopCount returns the number of set bits in b.
+func PopCount(b []byte) int {
+	n := 0
+	for _, v := range b {
+		n += popcount8(v)
+	}
+	return n
+}
+
+func popcount8(v byte) int {
+	v = v&0x55 + v>>1&0x55
+	v = v&0x33 + v>>2&0x33
+	v = v&0x0f + v>>4&0x0f
+	return int(v)
+}
+
+// PopCount32 returns the number of set bits in v.
+func PopCount32(v uint32) int {
+	v = v&0x55555555 + v>>1&0x55555555
+	v = v&0x33333333 + v>>2&0x33333333
+	v = v&0x0f0f0f0f + v>>4&0x0f0f0f0f
+	v = v&0x00ff00ff + v>>8&0x00ff00ff
+	return int(v&0xffff + v>>16)
+}
+
+// HammingDistance returns the number of differing bits between a and b,
+// which must have the same length.
+func HammingDistance(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("bits: HammingDistance length mismatch")
+	}
+	n := 0
+	for i := range a {
+		n += popcount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// ToFloats expands each byte of b into eight {0,1} float64 values,
+// least-significant bit first, appending to dst. It returns the
+// extended slice. The layout is stable and is the feature encoding used
+// by every scenario in internal/core.
+func ToFloats(dst []float64, b []byte) []float64 {
+	for _, v := range b {
+		for k := 0; k < 8; k++ {
+			dst = append(dst, float64(v>>k&1))
+		}
+	}
+	return dst
+}
+
+// FloatsToBytes is the inverse of ToFloats: it packs a {0,1} float
+// vector (length a multiple of 8) back into bytes. Values ≥ 0.5 are
+// treated as 1.
+func FloatsToBytes(f []float64) []byte {
+	if len(f)%8 != 0 {
+		panic("bits: FloatsToBytes length not a multiple of 8")
+	}
+	out := make([]byte, len(f)/8)
+	for i := range out {
+		var v byte
+		for k := 0; k < 8; k++ {
+			if f[i*8+k] >= 0.5 {
+				v |= 1 << k
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Bit returns bit i of b (little-endian within each byte): bit 0 is the
+// least-significant bit of b[0].
+func Bit(b []byte, i int) int {
+	return int(b[i/8] >> (i % 8) & 1)
+}
+
+// SetBit sets bit i of b to v (0 or 1), little-endian within bytes.
+func SetBit(b []byte, i, v int) {
+	if v&1 == 1 {
+		b[i/8] |= 1 << (i % 8)
+	} else {
+		b[i/8] &^= 1 << (i % 8)
+	}
+}
+
+// FlipBit flips bit i of b, little-endian within bytes.
+func FlipBit(b []byte, i int) {
+	b[i/8] ^= 1 << (i % 8)
+}
+
+// Hex renders b as a lowercase hex string.
+func Hex(b []byte) string {
+	const digits = "0123456789abcdef"
+	var sb strings.Builder
+	sb.Grow(2 * len(b))
+	for _, v := range b {
+		sb.WriteByte(digits[v>>4])
+		sb.WriteByte(digits[v&0x0f])
+	}
+	return sb.String()
+}
+
+// FromHex parses a lowercase or uppercase hex string into bytes.
+func FromHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("bits: odd-length hex string %q", s)
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("bits: invalid hex character in %q", s)
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Equal reports whether a and b are identical byte strings.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestRot32RoundTrip(t *testing.T) {
+	f := func(x uint32, k uint) bool {
+		return RotR32(RotL32(x, k), k) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRot32Known(t *testing.T) {
+	if got := RotL32(0x80000000, 1); got != 1 {
+		t.Errorf("RotL32(0x80000000,1) = %#x, want 1", got)
+	}
+	if got := RotL32(0x12345678, 0); got != 0x12345678 {
+		t.Errorf("RotL32 by 0 changed value: %#x", got)
+	}
+	if got := RotL32(0x12345678, 32); got != 0x12345678 {
+		t.Errorf("RotL32 by 32 changed value: %#x", got)
+	}
+	if got := RotR32(1, 1); got != 0x80000000 {
+		t.Errorf("RotR32(1,1) = %#x, want 0x80000000", got)
+	}
+}
+
+func TestRot16RoundTrip(t *testing.T) {
+	f := func(x uint16, k uint) bool {
+		return RotR16(RotL16(x, k), k) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadStore32LE(t *testing.T) {
+	f := func(v uint32) bool {
+		var b [4]byte
+		Store32LE(b[:], v)
+		return Load32LE(b[:]) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	var b [4]byte
+	Store32LE(b[:], 0x04030201)
+	if b != [4]byte{1, 2, 3, 4} {
+		t.Errorf("Store32LE little-endian layout wrong: %v", b)
+	}
+}
+
+func TestXOR(t *testing.T) {
+	a := []byte{0x0f, 0xf0, 0xaa}
+	b := []byte{0xff, 0xff, 0xaa}
+	got := XORBytes(a, b)
+	want := []byte{0xf0, 0x0f, 0x00}
+	if !Equal(got, want) {
+		t.Errorf("XORBytes = %v, want %v", got, want)
+	}
+	// In-place aliasing must work.
+	XOR(a, a, b)
+	if !Equal(a, want) {
+		t.Errorf("aliased XOR = %v, want %v", a, want)
+	}
+}
+
+func TestXORPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XOR with mismatched lengths did not panic")
+		}
+	}()
+	XOR(make([]byte, 2), make([]byte, 2), make([]byte, 3))
+}
+
+func TestPopCount(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want int
+	}{
+		{nil, 0},
+		{[]byte{0}, 0},
+		{[]byte{0xff}, 8},
+		{[]byte{0x01, 0x02, 0x04}, 3},
+		{[]byte{0xff, 0xff, 0xff, 0xff}, 32},
+	}
+	for _, c := range cases {
+		if got := PopCount(c.in); got != c.want {
+			t.Errorf("PopCount(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPopCount32MatchesBytes(t *testing.T) {
+	f := func(v uint32) bool {
+		var b [4]byte
+		Store32LE(b[:], v)
+		return PopCount32(v) == PopCount(b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := []byte{0x00, 0xff}
+	b := []byte{0x01, 0xfe}
+	if got := HammingDistance(a, b); got != 2 {
+		t.Errorf("HammingDistance = %d, want 2", got)
+	}
+	if got := HammingDistance(a, a); got != 0 {
+		t.Errorf("HammingDistance(a,a) = %d, want 0", got)
+	}
+}
+
+func TestToFloatsRoundTrip(t *testing.T) {
+	r := prng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(40)
+		b := r.Bytes(n)
+		f := ToFloats(nil, b)
+		if len(f) != 8*n {
+			t.Fatalf("ToFloats produced %d floats for %d bytes", len(f), n)
+		}
+		back := FloatsToBytes(f)
+		if !Equal(b, back) {
+			t.Fatalf("round trip failed: %v -> %v", b, back)
+		}
+	}
+}
+
+func TestToFloatsBitOrder(t *testing.T) {
+	f := ToFloats(nil, []byte{0x01})
+	if f[0] != 1 {
+		t.Error("bit 0 of 0x01 should be the first feature (LSB-first)")
+	}
+	for i := 1; i < 8; i++ {
+		if f[i] != 0 {
+			t.Errorf("feature %d of 0x01 = %v, want 0", i, f[i])
+		}
+	}
+	f = ToFloats(nil, []byte{0x80})
+	if f[7] != 1 {
+		t.Error("bit 7 of 0x80 should be the last feature of the byte")
+	}
+}
+
+func TestBitSetFlip(t *testing.T) {
+	b := make([]byte, 2)
+	SetBit(b, 9, 1)
+	if b[1] != 0x02 {
+		t.Errorf("SetBit(9) gave %v", b)
+	}
+	if Bit(b, 9) != 1 {
+		t.Error("Bit(9) should be 1")
+	}
+	FlipBit(b, 9)
+	if Bit(b, 9) != 0 {
+		t.Error("FlipBit did not clear bit 9")
+	}
+	SetBit(b, 9, 0)
+	if b[1] != 0 {
+		t.Error("SetBit(.,9,0) should be a no-op on cleared bit")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		b := r.Bytes(r.Intn(32))
+		s := Hex(b)
+		back, err := FromHex(s)
+		return err == nil && Equal(b, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	if _, err := FromHex("abc"); err == nil {
+		t.Error("odd-length hex accepted")
+	}
+	if _, err := FromHex("zz"); err == nil {
+		t.Error("invalid characters accepted")
+	}
+	if b, err := FromHex("DeadBeef"); err != nil || Hex(b) != "deadbeef" {
+		t.Errorf("mixed-case parse failed: %v %v", b, err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(nil, nil) || !Equal([]byte{}, nil) {
+		t.Error("empty slices should be equal")
+	}
+	if Equal([]byte{1}, []byte{1, 2}) {
+		t.Error("length mismatch should not be equal")
+	}
+	if Equal([]byte{1}, []byte{2}) {
+		t.Error("different content should not be equal")
+	}
+}

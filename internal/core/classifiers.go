@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/prng"
+	"repro/internal/svm"
+)
+
+// NNClassifier adapts an internal/nn network to the Classifier
+// interface, owning its training hyperparameters.
+type NNClassifier struct {
+	Net    *nn.Network
+	Epochs int
+	Batch  int
+	LR     float64
+	Seed   uint64
+	// OnEpoch, if non-nil, receives per-epoch training metrics.
+	OnEpoch func(epoch int, loss, acc float64)
+}
+
+// NewMLPClassifier builds the package's default model: the paper's
+// "three layer neural network" (one hidden layer) sized for the
+// scenario, trained with Adam. hidden ≤ 0 selects 128.
+func NewMLPClassifier(featureLen, classes, hidden int, seed uint64) (*NNClassifier, error) {
+	if hidden <= 0 {
+		hidden = 128
+	}
+	net, err := nn.MLP(featureLen, []int{hidden}, classes, nn.ReLU, prng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &NNClassifier{Net: net, Epochs: 5, Batch: 128, LR: 0.001, Seed: seed}, nil
+}
+
+// NewTable3Classifier wraps one of the paper's Table 3 architectures.
+func NewTable3Classifier(arch string, featureLen int, seed uint64) (*NNClassifier, error) {
+	net, err := nn.Table3(arch, featureLen, prng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &NNClassifier{Net: net, Epochs: 5, Batch: 128, LR: 0.001, Seed: seed}, nil
+}
+
+// Name identifies the classifier.
+func (c *NNClassifier) Name() string { return fmt.Sprintf("nn(%d params)", c.Net.ParamCount()) }
+
+// Fit trains the network on the labelled samples.
+func (c *NNClassifier) Fit(x [][]float64, y []int) error {
+	epochs := c.Epochs
+	if epochs <= 0 {
+		epochs = 5
+	}
+	batch := c.Batch
+	if batch <= 0 {
+		batch = 128
+	}
+	_, err := c.Net.Fit(nn.FromRows(x), y, nn.FitConfig{
+		Epochs:    epochs,
+		BatchSize: batch,
+		Optimizer: nn.NewAdam(c.LR),
+		Seed:      c.Seed,
+		OnEpoch:   c.OnEpoch,
+	})
+	return err
+}
+
+// Predict returns the network's argmax class.
+func (c *NNClassifier) Predict(x []float64) int { return c.Net.PredictOne(x) }
+
+// Interface checks: the svm package models implement Classifier
+// directly.
+var (
+	_ Classifier = (*svm.LinearSVM)(nil)
+	_ Classifier = (*svm.Logistic)(nil)
+	_ Classifier = (*NNClassifier)(nil)
+)
+
+// BitBiasClassifier is a non-ML analytic baseline: it estimates the
+// per-bit means of each class during Fit and classifies by nearest
+// mean under per-bit log-likelihood (naive Bayes over independent
+// bits). It approximates what the all-in-one differential captures
+// when output-difference bits are treated independently, and gives a
+// floor any NN should beat or match.
+type BitBiasClassifier struct {
+	classes int
+	dim     int
+	logP    [][]float64 // [class][bit] log Pr[bit=1]
+	logQ    [][]float64 // [class][bit] log Pr[bit=0]
+}
+
+// NewBitBiasClassifier constructs the baseline for the given shape.
+func NewBitBiasClassifier(dim, classes int) (*BitBiasClassifier, error) {
+	if dim <= 0 || classes < 2 {
+		return nil, fmt.Errorf("core: invalid bit-bias shape dim=%d classes=%d", dim, classes)
+	}
+	return &BitBiasClassifier{classes: classes, dim: dim}, nil
+}
+
+// Name identifies the classifier.
+func (b *BitBiasClassifier) Name() string { return "bit-bias" }
+
+// Fit estimates per-class per-bit one-probabilities with Laplace
+// smoothing.
+func (b *BitBiasClassifier) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("core: bit-bias fit: %d samples, %d labels", len(x), len(y))
+	}
+	ones := make([][]float64, b.classes)
+	counts := make([]float64, b.classes)
+	for c := range ones {
+		ones[c] = make([]float64, b.dim)
+	}
+	for i, row := range x {
+		if len(row) != b.dim {
+			return fmt.Errorf("core: bit-bias fit: sample %d has %d features, want %d", i, len(row), b.dim)
+		}
+		c := y[i]
+		if c < 0 || c >= b.classes {
+			return fmt.Errorf("core: bit-bias fit: label %d out of range", c)
+		}
+		counts[c]++
+		for j, v := range row {
+			if v >= 0.5 {
+				ones[c][j]++
+			}
+		}
+	}
+	b.logP = make([][]float64, b.classes)
+	b.logQ = make([][]float64, b.classes)
+	for c := 0; c < b.classes; c++ {
+		b.logP[c] = make([]float64, b.dim)
+		b.logQ[c] = make([]float64, b.dim)
+		for j := 0; j < b.dim; j++ {
+			p := (ones[c][j] + 1) / (counts[c] + 2) // Laplace smoothing
+			b.logP[c][j] = logOf(p)
+			b.logQ[c][j] = logOf(1 - p)
+		}
+	}
+	return nil
+}
+
+func logOf(p float64) float64 {
+	// Laplace smoothing keeps p in (0,1); guard anyway.
+	if p <= 0 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+// Predict scores each class by the naive-Bayes log likelihood of the
+// bit vector.
+func (b *BitBiasClassifier) Predict(x []float64) int {
+	if b.logP == nil {
+		panic("core: bit-bias classifier not trained")
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c := 0; c < b.classes; c++ {
+		s := 0.0
+		lp, lq := b.logP[c], b.logQ[c]
+		for j, v := range x {
+			if v >= 0.5 {
+				s += lp[j]
+			} else {
+				s += lq[j]
+			}
+		}
+		if s > bestV {
+			best, bestV = c, s
+		}
+	}
+	return best
+}

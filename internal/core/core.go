@@ -1,0 +1,74 @@
+// Package core implements the paper's primary contribution: the
+// machine-learning-assisted differential distinguisher of Algorithm 2.
+//
+// The attacker fixes t ≥ 2 input differences δ0 … δ(t−1). Offline, for
+// random inputs P, the output differences CIPHER(P) ⊕ CIPHER(P ⊕ δi)
+// are collected as class-i training samples and a classifier is fit; if
+// its accuracy a exceeds the random baseline 1/t, a distinguisher
+// exists. Online, the same queries are made against an unknown ORACLE:
+// if the classifier's accuracy a′ stays near a the oracle is the
+// cipher, if it drops to 1/t the oracle is random.
+//
+// The package is organized around three small interfaces:
+//
+//   - Scenario — a concrete instantiation of "choose differences, build
+//     the output-difference feature vector" for one target (GIMLI-HASH,
+//     GIMLI-CIPHER, SPECK, or anything user-provided).
+//   - Classifier — anything with Fit/Predict; adapters exist for the
+//     internal/nn networks and the internal/svm models.
+//   - Oracle — the online phase's query interface, with cipher and
+//     random implementations.
+//
+// Everything is deterministic given a seed.
+package core
+
+import (
+	"repro/internal/prng"
+)
+
+// Scenario produces labelled output-difference samples for a chosen
+// set of input differences. Implementations must be deterministic
+// functions of the provided generator.
+type Scenario interface {
+	// Name identifies the scenario in reports.
+	Name() string
+	// Classes returns t, the number of input differences.
+	Classes() int
+	// FeatureLen returns the length of the feature vectors (bits of
+	// observed output difference).
+	FeatureLen() int
+	// Sample returns one cipher output-difference feature vector for
+	// the given class (difference index).
+	Sample(r *prng.Rand, class int) []float64
+	// RandomSample returns what the same query would produce if the
+	// oracle were a random function: a uniformly random difference
+	// feature vector.
+	RandomSample(r *prng.Rand) []float64
+}
+
+// Classifier is the model slot of Algorithm 2. internal/nn networks
+// (via NNClassifier) and internal/svm models satisfy it.
+type Classifier interface {
+	Name() string
+	Fit(x [][]float64, y []int) error
+	Predict(x []float64) int
+}
+
+// Oracle answers online-phase queries: given a class index, it returns
+// the output-difference features the attacker would compute from its
+// chosen-input queries.
+type Oracle interface {
+	Query(r *prng.Rand, class int) []float64
+}
+
+// CipherOracle is the ORACLE = CIPHER case.
+type CipherOracle struct{ S Scenario }
+
+// Query returns a true cipher sample for the class.
+func (o CipherOracle) Query(r *prng.Rand, class int) []float64 { return o.S.Sample(r, class) }
+
+// RandomOracle is the ORACLE = RANDOM case.
+type RandomOracle struct{ S Scenario }
+
+// Query ignores the class and returns a random difference.
+func (o RandomOracle) Query(r *prng.Rand, class int) []float64 { return o.S.RandomSample(r) }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// NewScenarioByName constructs one of the built-in scenarios from its
+// registry name — the same names cmd/distinguisher accepts. For
+// "trivium" the rounds argument is the initialization clock count.
+func NewScenarioByName(target string, rounds int) (Scenario, error) {
+	switch target {
+	case "gimli-cipher":
+		return NewGimliCipherScenario(rounds)
+	case "gimli-hash":
+		return NewGimliHashScenario(rounds)
+	case "speck":
+		return NewSpeckScenario(rounds)
+	case "gift64":
+		return NewGift64Scenario(rounds)
+	case "salsa":
+		return NewSalsaScenario(rounds)
+	case "trivium":
+		return NewTriviumScenario(rounds)
+	default:
+		return nil, fmt.Errorf("core: unknown scenario %q (want gimli-cipher, gimli-hash, speck, gift64, salsa or trivium)", target)
+	}
+}
+
+// ScenarioNames lists the registry names accepted by
+// NewScenarioByName.
+var ScenarioNames = []string{"gimli-cipher", "gimli-hash", "speck", "gift64", "salsa", "trivium"}
+
+// distFile is the serialized form of a trained distinguisher: the
+// paper's ".h5 file plus experiment metadata" artifact.
+type distFile struct {
+	Magic    string
+	Version  int
+	Target   string
+	Rounds   int
+	Accuracy float64
+	TrainAcc float64
+	TrainN   int
+	ValN     int
+	Model    []byte // nn.Network serialization
+}
+
+const (
+	distMagic   = "mldd-distinguisher"
+	distVersion = 1
+)
+
+// SaveDistinguisher writes a trained distinguisher (its scenario
+// identity, measured accuracy and network weights) to w. Only
+// registry scenarios (NewScenarioByName) and NNClassifier models are
+// supported; the online phase can then run in a separate process with
+// LoadDistinguisher.
+func SaveDistinguisher(w io.Writer, d *Distinguisher, target string, rounds int) error {
+	nc, ok := d.Classifier.(*NNClassifier)
+	if !ok {
+		return fmt.Errorf("core: only NNClassifier-backed distinguishers can be saved, got %T", d.Classifier)
+	}
+	// Validate that (target, rounds) really reconstructs this scenario.
+	s, err := NewScenarioByName(target, rounds)
+	if err != nil {
+		return err
+	}
+	if s.Name() != d.Scenario.Name() {
+		return fmt.Errorf("core: scenario mismatch: distinguisher has %q, (%s, %d) reconstructs %q",
+			d.Scenario.Name(), target, rounds, s.Name())
+	}
+	var model bytes.Buffer
+	if err := nc.Net.Save(&model); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(&distFile{
+		Magic:    distMagic,
+		Version:  distVersion,
+		Target:   target,
+		Rounds:   rounds,
+		Accuracy: d.Accuracy,
+		TrainAcc: d.TrainAccuracy,
+		TrainN:   d.TrainSamples,
+		ValN:     d.ValSamples,
+		Model:    model.Bytes(),
+	})
+}
+
+// LoadDistinguisher reads a distinguisher written by SaveDistinguisher
+// and reconstructs its scenario and network, ready for Distinguish or
+// PlayGames.
+func LoadDistinguisher(r io.Reader) (*Distinguisher, error) {
+	var df distFile
+	if err := gob.NewDecoder(r).Decode(&df); err != nil {
+		return nil, fmt.Errorf("core: decoding distinguisher: %w", err)
+	}
+	if df.Magic != distMagic {
+		return nil, fmt.Errorf("core: not a distinguisher file (magic %q)", df.Magic)
+	}
+	if df.Version != distVersion {
+		return nil, fmt.Errorf("core: unsupported distinguisher version %d", df.Version)
+	}
+	s, err := NewScenarioByName(df.Target, df.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.Load(bytes.NewReader(df.Model))
+	if err != nil {
+		return nil, err
+	}
+	if net.InDim() != s.FeatureLen() || net.Classes() != s.Classes() {
+		return nil, fmt.Errorf("core: model shape %d→%d does not match scenario %s (%d→%d)",
+			net.InDim(), net.Classes(), s.Name(), s.FeatureLen(), s.Classes())
+	}
+	return &Distinguisher{
+		Scenario:      s,
+		Classifier:    &NNClassifier{Net: net},
+		Accuracy:      df.Accuracy,
+		TrainAccuracy: df.TrainAcc,
+		TrainSamples:  df.TrainN,
+		ValSamples:    df.ValN,
+	}, nil
+}
+
+// SaveDistinguisherFile writes the distinguisher to path.
+func SaveDistinguisherFile(path string, d *Distinguisher, target string, rounds int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveDistinguisher(f, d, target, rounds); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDistinguisherFile reads a distinguisher from path.
+func LoadDistinguisherFile(path string) (*Distinguisher, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDistinguisher(f)
+}

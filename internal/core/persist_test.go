@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/stats"
+	"repro/internal/svm"
+)
+
+func TestNewScenarioByName(t *testing.T) {
+	for _, name := range ScenarioNames {
+		rounds := 4
+		if name == "salsa" {
+			rounds = 4 // must be even
+		}
+		if name == "trivium" {
+			rounds = 288
+		}
+		s, err := NewScenarioByName(name, rounds)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Classes() < 2 {
+			t.Errorf("%s has %d classes", name, s.Classes())
+		}
+	}
+	if _, err := NewScenarioByName("rc4", 4); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSaveLoadDistinguisherRoundTrip(t *testing.T) {
+	s, err := NewGimliCipherScenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := NewMLPClassifier(s.FeatureLen(), 2, 32, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf.Epochs = 2
+	d, err := Train(s, clf, TrainConfig{TrainPerClass: 1024, ValPerClass: 512, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveDistinguisher(&buf, d, "gimli-cipher", 4); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDistinguisher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Accuracy != d.Accuracy || back.TrainSamples != d.TrainSamples {
+		t.Fatal("metadata not preserved")
+	}
+	if back.Scenario.Name() != d.Scenario.Name() {
+		t.Fatalf("scenario %q != %q", back.Scenario.Name(), d.Scenario.Name())
+	}
+	// The reloaded distinguisher must behave identically online.
+	r1, r2 := prng.New(3), prng.New(3)
+	a, err := d.Distinguish(CipherOracle{S: d.Scenario}, 300, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Distinguish(CipherOracle{S: back.Scenario}, 300, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy || a.Verdict != b.Verdict {
+		t.Fatalf("reloaded distinguisher diverged: %+v vs %+v", a, b)
+	}
+	if a.Verdict != stats.VerdictCipher {
+		t.Fatalf("verdict %v", a.Verdict)
+	}
+}
+
+func TestSaveDistinguisherValidation(t *testing.T) {
+	s, _ := NewGimliCipherScenario(4)
+	clf, _ := NewMLPClassifier(s.FeatureLen(), 2, 16, 1)
+	clf.Epochs = 1
+	d, err := Train(s, clf, TrainConfig{TrainPerClass: 512, ValPerClass: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Wrong reconstruction parameters must be rejected.
+	if err := SaveDistinguisher(&buf, d, "gimli-cipher", 5); err == nil {
+		t.Error("mismatched rounds accepted")
+	}
+	if err := SaveDistinguisher(&buf, d, "nope", 4); err == nil {
+		t.Error("unknown target accepted")
+	}
+	// Non-NN classifiers are not serializable.
+	sv, _ := svm.NewLinearSVM(s.FeatureLen(), 2, 0, 1, 1)
+	d2 := &Distinguisher{Scenario: s, Classifier: sv, Accuracy: 0.9}
+	if err := SaveDistinguisher(&buf, d2, "gimli-cipher", 4); err == nil ||
+		!strings.Contains(err.Error(), "NNClassifier") {
+		t.Errorf("SVM save gave %v", err)
+	}
+}
+
+func TestLoadDistinguisherRejectsGarbage(t *testing.T) {
+	if _, err := LoadDistinguisher(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDistinguisherFileRoundTrip(t *testing.T) {
+	s, _ := NewGimliCipherScenario(4)
+	clf, _ := NewMLPClassifier(s.FeatureLen(), 2, 16, 2)
+	clf.Epochs = 1
+	d, err := Train(s, clf, TrainConfig{TrainPerClass: 512, ValPerClass: 512, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/d.gob"
+	if err := SaveDistinguisherFile(path, d, "gimli-cipher", 4); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDistinguisherFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Accuracy != d.Accuracy {
+		t.Fatal("file round trip lost accuracy")
+	}
+	if _, err := LoadDistinguisherFile(t.TempDir() + "/missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

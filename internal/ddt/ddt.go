@@ -1,0 +1,229 @@
+// Package ddt provides difference-distribution machinery: DDTs of
+// arbitrary S-boxes, Markov-chain characteristic probabilities
+// (Equation 2 of the paper), and sampled all-in-one output-difference
+// distributions for primitives whose state is too large to enumerate —
+// the quantity the paper's neural networks learn to approximate.
+package ddt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// Table is the difference distribution table of an n-bit S-box:
+// Table[a][b] = #{x : S(x) ⊕ S(x⊕a) = b}.
+type Table struct {
+	N       int // S-box input/output width in bits
+	Counts  [][]int
+	Entries int // 2^N, the row sum
+}
+
+// Compute builds the DDT of the S-box given as a lookup slice of length
+// 2^n for some n ≤ 16. It returns an error if the length is not a power
+// of two or an entry is out of range.
+func Compute(sbox []int) (*Table, error) {
+	size := len(sbox)
+	n := 0
+	for 1<<n < size {
+		n++
+	}
+	if 1<<n != size || size < 2 || n > 16 {
+		return nil, fmt.Errorf("ddt: S-box length %d is not a power of two in [2, 2^16]", size)
+	}
+	for _, y := range sbox {
+		if y < 0 || y >= size {
+			return nil, fmt.Errorf("ddt: S-box output %d out of range [0, %d)", y, size)
+		}
+	}
+	t := &Table{N: n, Entries: size}
+	t.Counts = make([][]int, size)
+	for a := range t.Counts {
+		t.Counts[a] = make([]int, size)
+	}
+	for a := 0; a < size; a++ {
+		for x := 0; x < size; x++ {
+			t.Counts[a][sbox[x]^sbox[x^a]]++
+		}
+	}
+	return t, nil
+}
+
+// Prob returns the differential probability Pr[a → b] = DDT[a][b]/2^N.
+func (t *Table) Prob(a, b int) float64 {
+	return float64(t.Counts[a][b]) / float64(t.Entries)
+}
+
+// Weight returns −log2 Pr[a → b], or +Inf for an impossible transition.
+func (t *Table) Weight(a, b int) float64 {
+	p := t.Prob(a, b)
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(p)
+}
+
+// MaxNonTrivial returns the largest DDT entry outside row/column 0 and
+// one (a, b) pair attaining it — the differential uniformity statistic.
+func (t *Table) MaxNonTrivial() (a, b, count int) {
+	for i := 1; i < t.Entries; i++ {
+		for j := 0; j < t.Entries; j++ {
+			if t.Counts[i][j] > count {
+				a, b, count = i, j, t.Counts[i][j]
+			}
+		}
+	}
+	return a, b, count
+}
+
+// MarkovCharacteristicProb computes the probability of a multi-round
+// characteristic under the Markov assumption (Equation 2): the product
+// of the per-round transition probabilities read off the DDT. diffs is
+// the per-S-box-layer sequence of (input, output) difference pairs; for
+// a state of several parallel S-boxes, pass the per-box nibble
+// transitions of every round.
+func (t *Table) MarkovCharacteristicProb(transitions [][2]int) float64 {
+	p := 1.0
+	for _, tr := range transitions {
+		p *= t.Prob(tr[0], tr[1])
+	}
+	return p
+}
+
+// Distribution is a sampled all-in-one output-difference distribution:
+// for one fixed input difference, the histogram of observed output
+// differences. For large states this is the object the paper's neural
+// network approximates implicitly.
+type Distribution struct {
+	Samples int
+	Counts  map[string]int // keyed by the raw output-difference bytes
+}
+
+// Sample builds a Distribution by drawing n random inputs x, computing
+// f(x) ⊕ f(x ⊕ delta) and recording the result. f must be
+// deterministic; delta and the inputs have f's block length.
+func Sample(f func([]byte) []byte, delta []byte, blockLen, n int, r *prng.Rand) *Distribution {
+	d := &Distribution{Counts: make(map[string]int)}
+	x := make([]byte, blockLen)
+	x2 := make([]byte, blockLen)
+	for i := 0; i < n; i++ {
+		r.Fill(x)
+		copy(x2, x)
+		for j := range delta {
+			x2[j] ^= delta[j]
+		}
+		y := f(x)
+		y2 := f(x2)
+		diff := make([]byte, len(y))
+		for j := range y {
+			diff[j] = y[j] ^ y2[j]
+		}
+		d.Counts[string(diff)]++
+		d.Samples++
+	}
+	return d
+}
+
+// MostFrequent returns the most frequent output difference and its
+// empirical probability. Ties break toward the lexicographically
+// smallest difference so the result is deterministic.
+func (d *Distribution) MostFrequent() ([]byte, float64) {
+	keys := make([]string, 0, len(d.Counts))
+	for k := range d.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := ""
+	bestN := -1
+	for _, k := range keys {
+		if d.Counts[k] > bestN {
+			best, bestN = k, d.Counts[k]
+		}
+	}
+	if bestN < 0 {
+		return nil, 0
+	}
+	return []byte(best), float64(bestN) / float64(d.Samples)
+}
+
+// Distinct returns the number of distinct output differences observed.
+// A value far below Samples signals strong non-randomness.
+func (d *Distribution) Distinct() int { return len(d.Counts) }
+
+// Prob returns the empirical probability of one output difference.
+func (d *Distribution) Prob(diff []byte) float64 {
+	if d.Samples == 0 {
+		return 0
+	}
+	return float64(d.Counts[string(diff)]) / float64(d.Samples)
+}
+
+// Entropy returns the empirical Shannon entropy (bits) of the sampled
+// distribution. For a random permutation on b-bit blocks it approaches
+// min(b, log2 Samples); for a weak round-reduced primitive it is much
+// smaller.
+func (d *Distribution) Entropy() float64 {
+	h := 0.0
+	for _, c := range d.Counts {
+		p := float64(c) / float64(d.Samples)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// TotalVariation estimates the total-variation distance between two
+// sampled distributions over the union of their supports. The
+// summation order is fixed (sorted keys) so the result is bit-for-bit
+// deterministic and exactly symmetric.
+func TotalVariation(a, b *Distribution) float64 {
+	seen := map[string]bool{}
+	for k := range a.Counts {
+		seen[k] = true
+	}
+	for k := range b.Counts {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tv := 0.0
+	for _, k := range keys {
+		pa := float64(a.Counts[k]) / float64(a.Samples)
+		pb := float64(b.Counts[k]) / float64(b.Samples)
+		tv += math.Abs(pa - pb)
+	}
+	return tv / 2
+}
+
+// TableDistinguisher is the classical all-in-one baseline: memorize the
+// training distribution and score a fresh output difference by whether
+// it was ever observed. For a random permutation with a large block the
+// hit probability is negligible, while a round-reduced cipher re-hits
+// its (small) support constantly. This is the distinguisher Gohr's
+// networks were compared against, reduced to its sampling form.
+type TableDistinguisher struct {
+	dist *Distribution
+}
+
+// NewTableDistinguisher wraps a sampled training distribution.
+func NewTableDistinguisher(d *Distribution) *TableDistinguisher {
+	return &TableDistinguisher{dist: d}
+}
+
+// Score returns the log-likelihood-ratio-style score of one observed
+// output difference: log2((count+1)/samples) − (−bits), higher meaning
+// "more cipher-like". bits is the block size in bits (the uniform
+// reference is 2^−bits).
+func (t *TableDistinguisher) Score(diff []byte, bitSize int) float64 {
+	p := (float64(t.dist.Counts[string(diff)]) + 1) / float64(t.dist.Samples+1)
+	return math.Log2(p) + float64(bitSize)
+}
+
+// Hit reports whether diff was observed during training at all.
+func (t *TableDistinguisher) Hit(diff []byte) bool {
+	return t.dist.Counts[string(diff)] > 0
+}

@@ -1,0 +1,259 @@
+package ddt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gift"
+	"repro/internal/prng"
+	"repro/internal/speck"
+)
+
+func giftSBoxInts() []int {
+	s := make([]int, 16)
+	for i, v := range gift.SBox {
+		s[i] = int(v)
+	}
+	return s
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute([]int{0, 1, 2}); err == nil {
+		t.Error("non-power-of-two length accepted")
+	}
+	if _, err := Compute([]int{0, 5}); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+	if _, err := Compute([]int{1}); err == nil {
+		t.Error("length-1 S-box accepted")
+	}
+}
+
+func TestRowSumsAndTrivialRow(t *testing.T) {
+	tab, err := Compute(giftSBoxInts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		sum := 0
+		for b := 0; b < 16; b++ {
+			sum += tab.Counts[a][b]
+		}
+		if sum != 16 {
+			t.Errorf("row %d sums to %d", a, sum)
+		}
+	}
+	if tab.Counts[0][0] != 16 {
+		t.Error("DDT[0][0] != 16")
+	}
+}
+
+func TestMatchesGiftPackage(t *testing.T) {
+	tab, _ := Compute(giftSBoxInts())
+	ref := gift.DDT()
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if tab.Counts[a][b] != ref[a][b] {
+				t.Fatalf("DDT[%d][%d] = %d, gift package says %d", a, b, tab.Counts[a][b], ref[a][b])
+			}
+		}
+	}
+}
+
+func TestProbAndWeight(t *testing.T) {
+	tab, _ := Compute(giftSBoxInts())
+	if p := tab.Prob(2, 5); p != 0.25 {
+		t.Errorf("Prob(2,5) = %v, want 0.25", p)
+	}
+	if w := tab.Weight(2, 5); w != 2 {
+		t.Errorf("Weight(2,5) = %v, want 2", w)
+	}
+	// Find an impossible transition and check +Inf.
+	foundInf := false
+	for b := 0; b < 16 && !foundInf; b++ {
+		if tab.Counts[1][b] == 0 {
+			if !math.IsInf(tab.Weight(1, b), 1) {
+				t.Errorf("Weight of impossible transition not +Inf")
+			}
+			foundInf = true
+		}
+	}
+	if !foundInf {
+		t.Skip("no impossible transition in row 1")
+	}
+}
+
+func TestMaxNonTrivial(t *testing.T) {
+	tab, _ := Compute(giftSBoxInts())
+	_, _, c := tab.MaxNonTrivial()
+	// The GIFT S-box has differential uniformity 6.
+	if c != 6 {
+		t.Errorf("differential uniformity = %d, want 6", c)
+	}
+}
+
+func TestMarkovCharacteristicProbMatchesPaper(t *testing.T) {
+	// The Figure 1 characteristic: per-box transitions
+	// round 1: 2→5 (upper), 3→8 (lower); round 2: 6→2, 2→5.
+	tab, _ := Compute(giftSBoxInts())
+	p := tab.MarkovCharacteristicProb([][2]int{{2, 5}, {3, 8}, {6, 2}, {2, 5}})
+	if want := math.Exp2(-9); math.Abs(p-want) > 1e-15 {
+		t.Errorf("Markov probability = %v (2^%.2f), want 2^-9", p, math.Log2(p))
+	}
+}
+
+func TestIdentitySBoxDDT(t *testing.T) {
+	id := make([]int, 16)
+	for i := range id {
+		id[i] = i
+	}
+	tab, _ := Compute(id)
+	for a := 0; a < 16; a++ {
+		if tab.Counts[a][a] != 16 {
+			t.Errorf("identity DDT[%d][%d] = %d, want 16", a, a, tab.Counts[a][a])
+		}
+	}
+}
+
+func toyOracle(p []byte) []byte {
+	return []byte{gift.ToyEncrypt(p[0])}
+}
+
+func TestSampleDistributionToyCipher(t *testing.T) {
+	r := prng.New(1)
+	d := Sample(toyOracle, []byte{0x32}, 1, 8000, r)
+	if d.Samples != 8000 {
+		t.Fatalf("Samples = %d", d.Samples)
+	}
+	// The toy cipher's 8-bit state: 2^-6 of the inputs follow the
+	// characteristic to ΔW2 = 0x52; the empirical probability should be
+	// near 2^-6 (within 3 sigma ≈ 0.0042).
+	p := d.Prob([]byte{0x52})
+	if math.Abs(p-1.0/64) > 0.005 {
+		t.Errorf("Pr[ΔW2=0x52] = %v, want ≈ 2^-6", p)
+	}
+}
+
+func TestMostFrequentDeterministic(t *testing.T) {
+	d := &Distribution{Samples: 4, Counts: map[string]int{"b": 2, "a": 2}}
+	k, p := d.MostFrequent()
+	if string(k) != "a" || p != 0.5 {
+		t.Errorf("MostFrequent = %q %v, want tie broken to \"a\"", k, p)
+	}
+	empty := &Distribution{Counts: map[string]int{}}
+	if k, p := empty.MostFrequent(); k != nil || p != 0 {
+		t.Error("empty distribution should return nil, 0")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// Deterministic distribution: entropy 0.
+	d := &Distribution{Samples: 10, Counts: map[string]int{"x": 10}}
+	if h := d.Entropy(); h != 0 {
+		t.Errorf("deterministic entropy = %v", h)
+	}
+	// Uniform over 4: entropy 2.
+	u := &Distribution{Samples: 8, Counts: map[string]int{"a": 2, "b": 2, "c": 2, "d": 2}}
+	if h := u.Entropy(); math.Abs(h-2) > 1e-12 {
+		t.Errorf("uniform-4 entropy = %v, want 2", h)
+	}
+}
+
+func TestSpeckLowRoundDistributionIsPeaked(t *testing.T) {
+	r := prng.New(2)
+	c := speck.New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	f := func(p []byte) []byte {
+		return c.EncryptRounds(speck.BlockFromBytes(p), 3).Bytes()
+	}
+	d := Sample(f, speck.GohrDelta.Bytes(), 4, 4096, r)
+	if d.Distinct() > 1024 {
+		t.Fatalf("3-round SPECK distribution too flat: %d distinct diffs", d.Distinct())
+	}
+	_, p := d.MostFrequent()
+	if p < 0.05 {
+		t.Fatalf("3-round SPECK most frequent diff prob %v, expected a peak", p)
+	}
+}
+
+func TestTotalVariationSeparatesCipherFromRandom(t *testing.T) {
+	r := prng.New(3)
+	c := speck.New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	cipher := func(p []byte) []byte {
+		return c.EncryptRounds(speck.BlockFromBytes(p), 3).Bytes()
+	}
+	random := func(p []byte) []byte { return r.Bytes(4) }
+	dc := Sample(cipher, speck.GohrDelta.Bytes(), 4, 4096, r)
+	dr := Sample(random, speck.GohrDelta.Bytes(), 4, 4096, r)
+	tv := TotalVariation(dc, dr)
+	if tv < 0.5 {
+		t.Fatalf("TV distance %v too small to separate 3-round SPECK from random", tv)
+	}
+	// TV of a distribution with itself is 0.
+	if tv := TotalVariation(dc, dc); tv != 0 {
+		t.Fatalf("TV(d,d) = %v, want 0", tv)
+	}
+}
+
+func TestTableDistinguisher(t *testing.T) {
+	r := prng.New(4)
+	c := speck.New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	cipher := func(p []byte) []byte {
+		return c.EncryptRounds(speck.BlockFromBytes(p), 3).Bytes()
+	}
+	train := Sample(cipher, speck.GohrDelta.Bytes(), 4, 8192, r)
+	td := NewTableDistinguisher(train)
+
+	// Fresh cipher samples should mostly hit the table; random 32-bit
+	// diffs should almost never.
+	hitsCipher, hitsRandom := 0, 0
+	const n = 2000
+	x := make([]byte, 4)
+	for i := 0; i < n; i++ {
+		r.Fill(x)
+		y := cipher(x)
+		x2 := append([]byte(nil), x...)
+		for j := range x2 {
+			x2[j] ^= speck.GohrDelta.Bytes()[j]
+		}
+		y2 := cipher(x2)
+		diff := make([]byte, 4)
+		for j := range diff {
+			diff[j] = y[j] ^ y2[j]
+		}
+		if td.Hit(diff) {
+			hitsCipher++
+		}
+		if td.Hit(r.Bytes(4)) {
+			hitsRandom++
+		}
+	}
+	if hitsCipher < n*80/100 {
+		t.Errorf("cipher hit rate %d/%d too low", hitsCipher, n)
+	}
+	if hitsRandom > n*5/100 {
+		t.Errorf("random hit rate %d/%d too high", hitsRandom, n)
+	}
+	// Scores must order the same way.
+	if td.Score([]byte{0, 0, 0, 1}, 32) > td.Score(train.mustAnyKey(), 32) {
+		t.Error("unseen diff scored higher than a seen diff")
+	}
+}
+
+// mustAnyKey returns an arbitrary observed difference (test helper).
+func (d *Distribution) mustAnyKey() []byte {
+	for k := range d.Counts {
+		return []byte(k)
+	}
+	panic("empty distribution")
+}
+
+func BenchmarkSample4096(b *testing.B) {
+	r := prng.New(1)
+	c := speck.New([4]uint16{1, 2, 3, 4})
+	f := func(p []byte) []byte {
+		return c.EncryptRounds(speck.BlockFromBytes(p), 5).Bytes()
+	}
+	for i := 0; i < b.N; i++ {
+		Sample(f, speck.GohrDelta.Bytes(), 4, 4096, r)
+	}
+}

@@ -1,0 +1,121 @@
+package ddt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+// Property: for any random 4-bit S-box (not necessarily a permutation)
+// every DDT row sums to 16 and row 0 column 0 is 16.
+func TestQuickDDTRowSums(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		sbox := make([]int, 16)
+		for i := range sbox {
+			sbox[i] = r.Intn(16)
+		}
+		tab, err := Compute(sbox)
+		if err != nil {
+			return false
+		}
+		if tab.Counts[0][0] != 16 {
+			return false
+		}
+		for a := 0; a < 16; a++ {
+			sum := 0
+			for b := 0; b < 16; b++ {
+				sum += tab.Counts[a][b]
+			}
+			if sum != 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for a random PERMUTATION S-box, DDT columns also sum to 16
+// (bijectivity symmetry).
+func TestQuickDDTColumnSumsForPermutations(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		perm := r.Perm(16)
+		tab, err := Compute(perm)
+		if err != nil {
+			return false
+		}
+		for b := 0; b < 16; b++ {
+			sum := 0
+			for a := 0; a < 16; a++ {
+				sum += tab.Counts[a][b]
+			}
+			if sum != 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Markov characteristic probability is within [0, 1] and
+// multiplicative over concatenation.
+func TestQuickMarkovMultiplicative(t *testing.T) {
+	r := prng.New(7)
+	perm := r.Perm(16)
+	tab, err := Compute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a1, b1, a2, b2 uint8) bool {
+		t1 := [][2]int{{int(a1 % 16), int(b1 % 16)}}
+		t2 := [][2]int{{int(a2 % 16), int(b2 % 16)}}
+		both := append(append([][2]int{}, t1...), t2...)
+		p1 := tab.MarkovCharacteristicProb(t1)
+		p2 := tab.MarkovCharacteristicProb(t2)
+		pb := tab.MarkovCharacteristicProb(both)
+		if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+			return false
+		}
+		return pb == p1*p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TotalVariation is symmetric, in [0, 1], and zero on
+// identical sampled distributions.
+func TestQuickTotalVariationMetricProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		mk := func() *Distribution {
+			d := &Distribution{Counts: map[string]int{}}
+			n := 1 + r.Intn(50)
+			for i := 0; i < n; i++ {
+				d.Counts[string(rune('a'+r.Intn(6)))]++
+				d.Samples++
+			}
+			return d
+		}
+		a, b := mk(), mk()
+		tv := TotalVariation(a, b)
+		if tv < -1e-12 || tv > 1+1e-12 {
+			return false
+		}
+		if TotalVariation(b, a) != tv {
+			return false
+		}
+		return TotalVariation(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+package duplex
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+func newAEAD(t *testing.T, r *prng.Rand, rounds int) *AEAD {
+	t.Helper()
+	a, err := NewReduced(r.Bytes(KeySize), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	r := prng.New(1)
+	a := newAEAD(t, r, 24)
+	for trial := 0; trial < 100; trial++ {
+		nonce := r.Bytes(NonceSize)
+		pt := r.Bytes(r.Intn(80))
+		ad := r.Bytes(r.Intn(40))
+		ct, err := a.Seal(nil, nonce, pt, ad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != len(pt)+TagSize {
+			t.Fatalf("ciphertext length %d, want %d", len(ct), len(pt)+TagSize)
+		}
+		back, err := a.Open(nil, nonce, ct, ad)
+		if err != nil {
+			t.Fatalf("Open failed: %v", err)
+		}
+		if !bits.Equal(back, pt) {
+			t.Fatalf("round trip failed for %d-byte plaintext", len(pt))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		rounds := 1 + r.Intn(24)
+		a, err := NewReduced(r.Bytes(KeySize), rounds)
+		if err != nil {
+			return false
+		}
+		nonce := r.Bytes(NonceSize)
+		pt := r.Bytes(r.Intn(64))
+		ad := r.Bytes(r.Intn(32))
+		ct, err := a.Seal(nil, nonce, pt, ad)
+		if err != nil {
+			return false
+		}
+		back, err := a.Open(nil, nonce, ct, ad)
+		return err == nil && bits.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBoundaryLengths(t *testing.T) {
+	r := prng.New(2)
+	a := newAEAD(t, r, 24)
+	nonce := r.Bytes(NonceSize)
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33} {
+		pt := r.Bytes(n)
+		ct, err := a.Seal(nil, nonce, pt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := a.Open(nil, nonce, ct, nil)
+		if err != nil || !bits.Equal(back, pt) {
+			t.Fatalf("round trip failed at plaintext length %d: %v", n, err)
+		}
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	r := prng.New(3)
+	a := newAEAD(t, r, 24)
+	nonce := r.Bytes(NonceSize)
+	pt := r.Bytes(40)
+	ad := r.Bytes(10)
+	ct, _ := a.Seal(nil, nonce, pt, ad)
+	for i := 0; i < len(ct); i += 5 {
+		mod := append([]byte(nil), ct...)
+		mod[i] ^= 0x01
+		if _, err := a.Open(nil, nonce, mod, ad); !errors.Is(err, ErrAuth) {
+			t.Fatalf("bit flip at byte %d not rejected (err=%v)", i, err)
+		}
+	}
+}
+
+func TestTamperedADRejected(t *testing.T) {
+	r := prng.New(4)
+	a := newAEAD(t, r, 24)
+	nonce := r.Bytes(NonceSize)
+	ct, _ := a.Seal(nil, nonce, []byte("secret"), []byte("header"))
+	if _, err := a.Open(nil, nonce, ct, []byte("hEader")); !errors.Is(err, ErrAuth) {
+		t.Fatalf("modified AD not rejected (err=%v)", err)
+	}
+	// Truncated/extended AD must also fail.
+	if _, err := a.Open(nil, nonce, ct, []byte("header!")); !errors.Is(err, ErrAuth) {
+		t.Fatalf("extended AD not rejected (err=%v)", err)
+	}
+}
+
+func TestWrongNonceRejected(t *testing.T) {
+	r := prng.New(5)
+	a := newAEAD(t, r, 24)
+	nonce := r.Bytes(NonceSize)
+	ct, _ := a.Seal(nil, nonce, []byte("msg"), nil)
+	nonce2 := append([]byte(nil), nonce...)
+	nonce2[0] ^= 1
+	if _, err := a.Open(nil, nonce2, ct, nil); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong nonce not rejected (err=%v)", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	r := prng.New(6)
+	key := r.Bytes(KeySize)
+	a, _ := New(key)
+	nonce := r.Bytes(NonceSize)
+	ct, _ := a.Seal(nil, nonce, []byte("msg"), nil)
+	key[0] ^= 1
+	b, _ := New(key)
+	if _, err := b.Open(nil, nonce, ct, nil); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong key not rejected (err=%v)", err)
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	if _, err := New(make([]byte, 31)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewReduced(make([]byte, 32), 0); err == nil {
+		t.Error("0 rounds accepted")
+	}
+	if _, err := NewReduced(make([]byte, 32), 25); err == nil {
+		t.Error("25 rounds accepted")
+	}
+	a, _ := New(make([]byte, 32))
+	if _, err := a.Seal(nil, make([]byte, 15), nil, nil); err == nil {
+		t.Error("short nonce accepted by Seal")
+	}
+	if _, err := a.Open(nil, make([]byte, 15), make([]byte, 16), nil); err == nil {
+		t.Error("short nonce accepted by Open")
+	}
+	if _, err := a.Open(nil, make([]byte, 16), make([]byte, 15), nil); err == nil {
+		t.Error("ciphertext shorter than tag accepted")
+	}
+}
+
+func TestEmptyEverything(t *testing.T) {
+	a, _ := New(make([]byte, KeySize))
+	nonce := make([]byte, NonceSize)
+	ct, err := a.Seal(nil, nonce, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != TagSize {
+		t.Fatalf("empty plaintext ciphertext length %d", len(ct))
+	}
+	pt, err := a.Open(nil, nonce, ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt) != 0 {
+		t.Fatalf("decrypted %d bytes from empty plaintext", len(pt))
+	}
+}
+
+func TestCiphertextIsKeystreamXOR(t *testing.T) {
+	// c = m ⊕ rate: sealing zero plaintext yields the keystream, and
+	// sealing m yields keystream ⊕ m on the first block.
+	r := prng.New(7)
+	a := newAEAD(t, r, 24)
+	nonce := r.Bytes(NonceSize)
+	zero := make([]byte, Rate)
+	m := r.Bytes(Rate)
+	c0, _ := a.Seal(nil, nonce, zero, nil)
+	c1, _ := a.Seal(nil, nonce, m, nil)
+	if !bits.Equal(bits.XORBytes(c0[:Rate], c1[:Rate]), m) {
+		t.Fatal("first ciphertext block is not rate ⊕ message")
+	}
+}
+
+func TestDistinctNoncesDistinctCiphertexts(t *testing.T) {
+	r := prng.New(8)
+	a := newAEAD(t, r, 24)
+	pt := make([]byte, 32)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		ct, _ := a.Seal(nil, r.Bytes(NonceSize), pt, nil)
+		s := string(ct)
+		if seen[s] {
+			t.Fatal("nonce variation produced identical ciphertext")
+		}
+		seen[s] = true
+	}
+}
+
+func TestSealAppendsToDst(t *testing.T) {
+	r := prng.New(9)
+	a := newAEAD(t, r, 24)
+	nonce := r.Bytes(NonceSize)
+	dst := []byte{0xaa}
+	out, _ := a.Seal(dst, nonce, []byte("hi"), nil)
+	if out[0] != 0xaa || len(out) != 1+2+TagSize {
+		t.Fatalf("Seal dst handling wrong: % x", out)
+	}
+}
+
+func TestInitRateDeterministicAndKeyed(t *testing.T) {
+	r := prng.New(10)
+	key := r.Bytes(KeySize)
+	nonce := r.Bytes(NonceSize)
+	a := InitRate(key, nonce, 8)
+	b := InitRate(key, nonce, 8)
+	if a != b {
+		t.Fatal("InitRate not deterministic")
+	}
+	key2 := append([]byte(nil), key...)
+	key2[0] ^= 1
+	if InitRate(key2, nonce, 8) == a {
+		t.Fatal("InitRate ignores the key")
+	}
+	nonce2 := append([]byte(nil), nonce...)
+	nonce2[4] ^= 1
+	if InitRate(key, nonce2, 8) == a {
+		t.Fatal("InitRate ignores the nonce")
+	}
+	if InitRate(key, nonce, 7) == a {
+		t.Fatal("InitRate ignores the round count")
+	}
+}
+
+func TestInitRateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short key accepted by InitRate")
+		}
+	}()
+	InitRate(make([]byte, 31), make([]byte, 16), 8)
+}
+
+func TestAEADInterfaceSizes(t *testing.T) {
+	a, _ := New(make([]byte, KeySize))
+	if a.NonceSize() != 16 || a.Overhead() != 16 || a.Rounds() != 24 {
+		t.Fatal("interface sizes wrong")
+	}
+}
+
+func BenchmarkSeal64B(b *testing.B) {
+	r := prng.New(1)
+	a, _ := New(r.Bytes(KeySize))
+	nonce := r.Bytes(NonceSize)
+	pt := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		_, _ = a.Seal(nil, nonce, pt, nil)
+	}
+}
+
+func BenchmarkInitRate8Rounds(b *testing.B) {
+	r := prng.New(1)
+	key := r.Bytes(KeySize)
+	nonce := r.Bytes(NonceSize)
+	for i := 0; i < b.N; i++ {
+		InitRate(key, nonce, 8)
+	}
+}

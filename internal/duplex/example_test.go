@@ -1,0 +1,46 @@
+package duplex_test
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/duplex"
+)
+
+// Authenticated encryption and decryption with GIMLI-CIPHER. The
+// ciphertext is pinned as a repository known-answer value.
+func ExampleAEAD() {
+	key := make([]byte, duplex.KeySize)     // all-zero demo key
+	nonce := make([]byte, duplex.NonceSize) // never reuse nonces in practice
+	aead, err := duplex.New(key)
+	if err != nil {
+		panic(err)
+	}
+	ct, err := aead.Seal(nil, nonce, []byte("hi"), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bits.Hex(ct))
+	pt, err := aead.Open(nil, nonce, ct, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(pt))
+	// Output:
+	// 24a07640523a62669f2a3f158bdb72d622ea
+	// hi
+}
+
+// Tag verification failure: flipping one ciphertext bit must yield
+// ErrAuth and no plaintext.
+func ExampleAEAD_Open_tampered() {
+	key := make([]byte, duplex.KeySize)
+	nonce := make([]byte, duplex.NonceSize)
+	aead, _ := duplex.New(key)
+	ct, _ := aead.Seal(nil, nonce, []byte("hi"), nil)
+	ct[0] ^= 1
+	_, err := aead.Open(nil, nonce, ct, nil)
+	fmt.Println(err)
+	// Output:
+	// duplex: message authentication failed
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMulticlassSweepQuick(t *testing.T) {
+	sc := Scale{TrainPerClass: 1024, ValPerClass: 512, Epochs: 3, Hidden: 64}
+	rows, err := MulticlassSweep(4, sc, 1) // 4 rounds: easy at every t
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	wantT := []int{2, 4, 8}
+	for i, row := range rows {
+		if row.T != wantT[i] {
+			t.Errorf("row %d has t=%d", i, row.T)
+		}
+		if row.Err != "" {
+			t.Errorf("t=%d failed: %s", row.T, row.Err)
+			continue
+		}
+		if math.Abs(row.Baseline-1/float64(row.T)) > 1e-9 {
+			t.Errorf("t=%d baseline %v", row.T, row.Baseline)
+		}
+		if row.Advantage < 0.3 {
+			t.Errorf("t=%d advantage %v too small at 4 rounds", row.T, row.Advantage)
+		}
+	}
+	out := FormatMulticlass(rows)
+	if !strings.Contains(out, "baseline") || len(strings.Split(out, "\n")) < 4 {
+		t.Fatalf("bad table format:\n%s", out)
+	}
+}

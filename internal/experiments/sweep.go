@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SweepRow is one round count's result in the accuracy-vs-rounds
+// sweep.
+type SweepRow struct {
+	Target    string
+	Rounds    int
+	Accuracy  float64
+	Zscore    float64
+	Signal    bool // z ≥ 3: a usable distinguisher at this budget
+	TrainTime time.Duration
+}
+
+// RoundSweep traces the central curve of the paper — distinguisher
+// accuracy as a function of round count — for one GIMLI target,
+// from easy rounds down to where the signal dies at the given data
+// budget. The paper reports three points of this curve (Table 2);
+// the sweep shows the whole shape, including the crossover into
+// insignificance.
+func RoundSweep(target string, fromRounds, toRounds int, sc Scale, seed uint64, progress func(string)) ([]SweepRow, error) {
+	if fromRounds < 1 || toRounds < fromRounds {
+		return nil, fmt.Errorf("experiments: invalid sweep range [%d, %d]", fromRounds, toRounds)
+	}
+	var rows []SweepRow
+	for rounds := fromRounds; rounds <= toRounds; rounds++ {
+		cell, err := Table2Cell(target, rounds, sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{
+			Target:    target,
+			Rounds:    rounds,
+			Accuracy:  cell.Accuracy,
+			Zscore:    cell.Zscore,
+			Signal:    cell.Zscore >= 3,
+			TrainTime: cell.TrainTime,
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("%s %d rounds: accuracy %.4f (z=%.1f)", target, rounds, row.Accuracy, row.Zscore))
+		}
+	}
+	return rows, nil
+}
+
+// FormatSweep renders the sweep with a crude ASCII accuracy bar so the
+// curve's shape is visible in terminal output.
+func FormatSweep(rows []SweepRow) string {
+	out := "target        rounds  accuracy  z-score  signal  curve (0.5 … 1.0)\n"
+	for _, r := range rows {
+		bar := accuracyBar(r.Accuracy)
+		out += fmt.Sprintf("%-12s  %6d  %8.4f  %7.1f  %-6v  |%s\n",
+			r.Target, r.Rounds, r.Accuracy, r.Zscore, r.Signal, bar)
+	}
+	return out
+}
+
+func accuracyBar(acc float64) string {
+	// Map [0.5, 1.0] onto 40 columns.
+	n := int((acc - 0.5) / 0.5 * 40)
+	if n < 0 {
+		n = 0
+	}
+	if n > 40 {
+		n = 40
+	}
+	bar := ""
+	for i := 0; i < n; i++ {
+		bar += "█"
+	}
+	return bar
+}
+
+// OnlineQueriesCurve computes, for each sweep row with signal, the
+// online data complexity the accuracy implies at 4σ — the curve behind
+// the paper's 2^14.3 number.
+func OnlineQueriesCurve(rows []SweepRow) []ComplexityPoint {
+	var pts []ComplexityPoint
+	for _, r := range rows {
+		if !r.Signal {
+			continue
+		}
+		n, err := stats.OnlineQueriesFor(r.Accuracy, 2, 4)
+		if err != nil {
+			continue
+		}
+		pts = append(pts, ComplexityPoint{Rounds: r.Rounds, OnlineQueries: n})
+	}
+	return pts
+}
+
+// ComplexityPoint is one (rounds, online queries) pair.
+type ComplexityPoint struct {
+	Rounds        int
+	OnlineQueries int
+}

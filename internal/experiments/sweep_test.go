@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundSweepShape(t *testing.T) {
+	sc := Scale{TrainPerClass: 2048, ValPerClass: 1024, Epochs: 3, Hidden: 64}
+	rows, err := RoundSweep("gimli-cipher", 4, 6, sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Accuracy must not increase with rounds (monotone decay, with a
+	// little slack for noise at the strong end).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Accuracy > rows[i-1].Accuracy+0.02 {
+			t.Errorf("accuracy rose from %v to %v at %d rounds",
+				rows[i-1].Accuracy, rows[i].Accuracy, rows[i].Rounds)
+		}
+	}
+	if !rows[0].Signal {
+		t.Error("4-round sweep row should be significant")
+	}
+}
+
+func TestRoundSweepValidation(t *testing.T) {
+	sc := QuickScale()
+	if _, err := RoundSweep("gimli-cipher", 0, 3, sc, 1, nil); err == nil {
+		t.Error("invalid lower bound accepted")
+	}
+	if _, err := RoundSweep("gimli-cipher", 5, 4, sc, 1, nil); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := RoundSweep("3des", 4, 5, sc, 1, nil); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestFormatSweepAndBar(t *testing.T) {
+	rows := []SweepRow{
+		{Target: "gimli-cipher", Rounds: 6, Accuracy: 0.95, Zscore: 40, Signal: true},
+		{Target: "gimli-cipher", Rounds: 8, Accuracy: 0.51, Zscore: 1, Signal: false},
+	}
+	out := FormatSweep(rows)
+	if !strings.Contains(out, "gimli-cipher") || !strings.Contains(out, "█") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if accuracyBar(0.4) != "" {
+		t.Error("sub-baseline accuracy should give an empty bar")
+	}
+	if len([]rune(accuracyBar(1.5))) != 40 {
+		t.Error("overflow accuracy should clamp to full bar")
+	}
+}
+
+func TestOnlineQueriesCurve(t *testing.T) {
+	rows := []SweepRow{
+		{Rounds: 6, Accuracy: 0.95, Signal: true},
+		{Rounds: 7, Accuracy: 0.65, Signal: true},
+		{Rounds: 8, Accuracy: 0.505, Signal: false}, // filtered out
+	}
+	pts := OnlineQueriesCurve(rows)
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].OnlineQueries >= pts[1].OnlineQueries {
+		t.Error("stronger distinguisher should need fewer queries")
+	}
+}

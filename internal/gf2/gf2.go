@@ -1,0 +1,203 @@
+// Package gf2 provides dense linear algebra over GF(2): bit matrices,
+// Gaussian elimination, rank and linear-system solving. It is the
+// substrate for the exact differential-probability calculator in
+// internal/trails: the GIMLI SP-box is quadratic, so for a fixed input
+// difference the output difference is an affine function of the state,
+// and transition probabilities reduce to ranks of GF(2) systems.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Matrix is a dense bit matrix. Row i is stored as ⌈cols/64⌉ little
+// endian words; bit j of row i is Row(i) word j/64, bit j%64.
+type Matrix struct {
+	RowsN, ColsN int
+	words        int
+	data         []uint64
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("gf2: invalid shape %d×%d", rows, cols))
+	}
+	w := (cols + 63) / 64
+	return &Matrix{RowsN: rows, ColsN: cols, words: w, data: make([]uint64, rows*w)}
+}
+
+// row returns the word slice of row i.
+func (m *Matrix) row(i int) []uint64 { return m.data[i*m.words : (i+1)*m.words] }
+
+// Get returns bit (i, j).
+func (m *Matrix) Get(i, j int) int {
+	return int(m.row(i)[j/64] >> (j % 64) & 1)
+}
+
+// Set assigns bit (i, j).
+func (m *Matrix) Set(i, j, v int) {
+	if v&1 == 1 {
+		m.row(i)[j/64] |= 1 << (j % 64)
+	} else {
+		m.row(i)[j/64] &^= 1 << (j % 64)
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.RowsN, m.ColsN)
+	copy(out.data, m.data)
+	return out
+}
+
+// xorRows XORs row src into row dst.
+func (m *Matrix) xorRows(dst, src int) {
+	d := m.row(dst)
+	s := m.row(src)
+	for k := range d {
+		d[k] ^= s[k]
+	}
+}
+
+// swapRows exchanges two rows.
+func (m *Matrix) swapRows(a, b int) {
+	if a == b {
+		return
+	}
+	ra, rb := m.row(a), m.row(b)
+	for k := range ra {
+		ra[k], rb[k] = rb[k], ra[k]
+	}
+}
+
+// Rank returns the GF(2) rank (the matrix is not modified).
+func (m *Matrix) Rank() int {
+	r, _ := m.Clone().eliminate(nil)
+	return r
+}
+
+// eliminate runs Gaussian elimination in place, optionally carrying an
+// augmented right-hand-side vector (one bit per row, mutated in step).
+// It returns the rank and the pivot column of each pivot row.
+func (m *Matrix) eliminate(rhs []uint64) (int, []int) {
+	rank := 0
+	pivots := make([]int, 0, m.RowsN)
+	for col := 0; col < m.ColsN && rank < m.RowsN; col++ {
+		// Find a pivot at or below row `rank`.
+		pivot := -1
+		for i := rank; i < m.RowsN; i++ {
+			if m.Get(i, col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.swapRows(rank, pivot)
+		if rhs != nil {
+			swapBit(rhs, rank, pivot)
+		}
+		for i := 0; i < m.RowsN; i++ {
+			if i != rank && m.Get(i, col) == 1 {
+				m.xorRows(i, rank)
+				if rhs != nil && getBit(rhs, rank) == 1 {
+					flipBit(rhs, i)
+				}
+			}
+		}
+		pivots = append(pivots, col)
+		rank++
+	}
+	return rank, pivots
+}
+
+func getBit(v []uint64, i int) int { return int(v[i/64] >> (i % 64) & 1) }
+func flipBit(v []uint64, i int)    { v[i/64] ^= 1 << (i % 64) }
+func swapBit(v []uint64, a, b int) {
+	ba, bb := getBit(v, a), getBit(v, b)
+	if ba != bb {
+		flipBit(v, a)
+		flipBit(v, b)
+	}
+}
+
+// SolveResult reports the outcome of Solve.
+type SolveResult struct {
+	Consistent bool
+	Rank       int
+	// FreeVars = ColsN − Rank: the solution space has 2^FreeVars
+	// elements when Consistent.
+	FreeVars int
+	// X is one solution (length ColsN bits, packed), nil if
+	// inconsistent.
+	X []uint64
+}
+
+// Solve solves A·x = b over GF(2), where b has one bit per row of A.
+// A is not modified.
+func (m *Matrix) Solve(b []int) SolveResult {
+	if len(b) != m.RowsN {
+		panic(fmt.Sprintf("gf2: Solve rhs length %d for %d rows", len(b), m.RowsN))
+	}
+	a := m.Clone()
+	rhs := make([]uint64, (m.RowsN+63)/64)
+	for i, v := range b {
+		if v&1 == 1 {
+			flipBit(rhs, i)
+		}
+	}
+	rank, pivots := a.eliminate(rhs)
+	// Consistency: any zero row with rhs bit 1 is a contradiction.
+	for i := rank; i < a.RowsN; i++ {
+		if getBit(rhs, i) == 1 {
+			return SolveResult{Consistent: false, Rank: rank}
+		}
+	}
+	// Back-substitute one particular solution: free variables 0,
+	// pivot variables take their row's rhs (rows are fully reduced).
+	x := make([]uint64, (m.ColsN+63)/64)
+	for r, col := range pivots {
+		if getBit(rhs, r) == 1 {
+			flipBit(x, col)
+		}
+	}
+	return SolveResult{
+		Consistent: true,
+		Rank:       rank,
+		FreeVars:   m.ColsN - rank,
+		X:          x,
+	}
+}
+
+// MulVec computes A·x for a packed bit vector x of length ColsN.
+func (m *Matrix) MulVec(x []uint64) []int {
+	out := make([]int, m.RowsN)
+	for i := 0; i < m.RowsN; i++ {
+		row := m.row(i)
+		acc := uint64(0)
+		for k := range row {
+			acc ^= row[k] & x[k]
+		}
+		out[i] = int(uint(bits.OnesCount64(acc)) & 1)
+	}
+	return out
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.RowsN; i++ {
+		for j := 0; j < m.ColsN; j++ {
+			if m.Get(i, j) == 1 {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

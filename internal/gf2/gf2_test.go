@@ -1,0 +1,182 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func randomMatrix(r *prng.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.Intn(2))
+		}
+	}
+	return m
+}
+
+func TestGetSet(t *testing.T) {
+	m := NewMatrix(3, 130) // spans three words per row
+	m.Set(2, 129, 1)
+	if m.Get(2, 129) != 1 || m.Get(2, 128) != 0 {
+		t.Fatal("Get/Set broken across word boundaries")
+	}
+	m.Set(2, 129, 0)
+	if m.Get(2, 129) != 0 {
+		t.Fatal("clearing failed")
+	}
+}
+
+func TestRankIdentity(t *testing.T) {
+	n := 20
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	if m.Rank() != n {
+		t.Fatalf("identity rank %d", m.Rank())
+	}
+}
+
+func TestRankProperties(t *testing.T) {
+	r := prng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+		m := randomMatrix(r, rows, cols)
+		rank := m.Rank()
+		if rank < 0 || rank > rows || rank > cols {
+			t.Fatalf("rank %d out of bounds for %d×%d", rank, rows, cols)
+		}
+		// Duplicating a row must not change the rank.
+		dup := NewMatrix(rows+1, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				dup.Set(i, j, m.Get(i, j))
+			}
+		}
+		for j := 0; j < cols; j++ {
+			dup.Set(rows, j, m.Get(0, j))
+		}
+		if dup.Rank() != rank {
+			t.Fatalf("duplicated row changed rank: %d → %d", rank, dup.Rank())
+		}
+	}
+}
+
+func TestZeroMatrixRank(t *testing.T) {
+	if NewMatrix(5, 7).Rank() != 0 {
+		t.Fatal("zero matrix rank != 0")
+	}
+}
+
+func TestSolveConsistentSystem(t *testing.T) {
+	// Solve A·x = A·x0 and verify the returned solution satisfies the
+	// system (it need not equal x0 when A is singular).
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		rows, cols := 1+r.Intn(24), 1+r.Intn(24)
+		a := randomMatrix(r, rows, cols)
+		x0 := make([]uint64, (cols+63)/64)
+		for j := 0; j < cols; j++ {
+			if r.Intn(2) == 1 {
+				flipBit(x0, j)
+			}
+		}
+		b := a.MulVec(x0)
+		res := a.Solve(b)
+		if !res.Consistent {
+			return false
+		}
+		got := a.MulVec(res.X)
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		return res.Rank+res.FreeVars == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveInconsistentSystem(t *testing.T) {
+	// x + y = 0 and x + y = 1 cannot both hold.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	res := a.Solve([]int{0, 1})
+	if res.Consistent {
+		t.Fatal("inconsistent system reported consistent")
+	}
+	if res.Rank != 1 {
+		t.Fatalf("rank %d, want 1", res.Rank)
+	}
+}
+
+func TestSolveUnderdetermined(t *testing.T) {
+	// One equation, three unknowns: 4 free dimensions... rank 1,
+	// FreeVars 2.
+	a := NewMatrix(1, 3)
+	a.Set(0, 0, 1)
+	a.Set(0, 2, 1)
+	res := a.Solve([]int{1})
+	if !res.Consistent || res.Rank != 1 || res.FreeVars != 2 {
+		t.Fatalf("result %+v", res)
+	}
+	if got := a.MulVec(res.X); got[0] != 1 {
+		t.Fatal("particular solution does not satisfy the equation")
+	}
+}
+
+func TestSolveRhsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong rhs length accepted")
+		}
+	}()
+	NewMatrix(2, 2).Solve([]int{1})
+}
+
+func TestMulVecLinear(t *testing.T) {
+	r := prng.New(2)
+	a := randomMatrix(r, 10, 70)
+	x := make([]uint64, 2)
+	y := make([]uint64, 2)
+	for j := 0; j < 70; j++ {
+		if r.Intn(2) == 1 {
+			flipBit(x, j)
+		}
+		if r.Intn(2) == 1 {
+			flipBit(y, j)
+		}
+	}
+	xy := []uint64{x[0] ^ y[0], x[1] ^ y[1]}
+	ax, ay, axy := a.MulVec(x), a.MulVec(y), a.MulVec(xy)
+	for i := range axy {
+		if axy[i] != ax[i]^ay[i] {
+			t.Fatal("MulVec not linear")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.Get(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 1)
+	if m.String() != "01\n00\n" {
+		t.Fatalf("String = %q", m.String())
+	}
+}

@@ -1,0 +1,179 @@
+package gift
+
+// This file implements the full GIFT-64 block cipher (Banik et al.,
+// CHES 2017) — the Markov cipher the paper's conclusion names as the
+// next experimentation target ("other non-Markov ciphers and Markov
+// ciphers like GIFT can be experimented with").
+//
+// GIFT-64: 64-bit state, 128-bit key, 28 rounds of
+// SubCells (the 4-bit S-box on each nibble) → PermBits (a fixed bit
+// permutation) → AddRoundKey (32 key bits + round constant).
+//
+// Official known-answer vectors are not available in this offline
+// environment; correctness is established by the encrypt/decrypt
+// inverse property, the closed-form vs tabulated bit permutation
+// cross-check, and structural tests (see gift64_test.go).
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Rounds64 is the number of rounds of GIFT-64.
+const Rounds64 = 28
+
+// perm64 is the GIFT-64 bit permutation in closed form: state bit i
+// moves to position perm64(i).
+func perm64(i int) int {
+	return 4*(i/16) + 16*((3*(i%16/4)+i%4)%4) + i%4
+}
+
+// Perm64Table is the tabulated GIFT-64 bit permutation, kept alongside
+// the closed form so the tests can cross-check the two.
+var Perm64Table = buildPerm64()
+
+func buildPerm64() [64]int {
+	var t [64]int
+	for i := range t {
+		t[i] = perm64(i)
+	}
+	return t
+}
+
+// Cipher64 is a GIFT-64 instance with a precomputed key-schedule.
+type Cipher64 struct {
+	// rk[i] packs round i's (U, V) halves: U = bits 16..31, V = 0..15.
+	rk [Rounds64]uint32
+	// rc[i] is round i's 6-bit constant.
+	rc [Rounds64]byte
+}
+
+// NewCipher64 expands a 128-bit key given as 8 sixteen-bit words
+// k7 … k0 (key[0] = k7, the most significant word, matching the
+// design document's notation).
+func NewCipher64(key [8]uint16) *Cipher64 {
+	c := &Cipher64{}
+	k := key
+	state6 := byte(0)
+	for r := 0; r < Rounds64; r++ {
+		// Round key: U ← k1, V ← k0.
+		u := k[6] // k1 (key[0]=k7 … key[7]=k0 ⇒ k1 = key[6])
+		v := k[7] // k0
+		c.rk[r] = uint32(u)<<16 | uint32(v)
+		// Key state rotation:
+		// k7‖k6‖…‖k0 ← (k1 ⋙ 2)‖(k0 ⋙ 12)‖k7‖…‖k2.
+		newK7 := bits.RotR16(u, 2)
+		newK6 := bits.RotR16(v, 12)
+		copy(k[2:], k[:6])
+		k[0], k[1] = newK7, newK6
+		// Round constant LFSR: (c5..c0) ← (c4..c0, c5⊕c4⊕1).
+		state6 = (state6<<1 | (state6>>5^state6>>4^1)&1) & 0x3f
+		c.rc[r] = state6
+	}
+	return c
+}
+
+// NewCipher64FromBytes expands a 16-byte key laid out big-endian
+// (key[0..1] = k7, …, key[14..15] = k0).
+func NewCipher64FromBytes(key []byte) (*Cipher64, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("gift: GIFT-64 key must be 16 bytes, got %d", len(key))
+	}
+	var k [8]uint16
+	for i := range k {
+		k[i] = uint16(key[2*i])<<8 | uint16(key[2*i+1])
+	}
+	return NewCipher64(k), nil
+}
+
+// RoundKey returns round r's packed (U, V) key bits, for analysis.
+func (c *Cipher64) RoundKey(r int) uint32 { return c.rk[r] }
+
+// RoundConstant returns round r's 6-bit constant.
+func (c *Cipher64) RoundConstant(r int) byte { return c.rc[r] }
+
+// subCells64 applies the S-box to all 16 nibbles.
+func subCells64(s uint64, box [16]byte) uint64 {
+	var out uint64
+	for n := 0; n < 16; n++ {
+		out |= uint64(box[s>>(4*n)&0xf]) << (4 * n)
+	}
+	return out
+}
+
+// permBits64 applies the bit permutation (forward or inverse).
+func permBits64(s uint64, inverse bool) uint64 {
+	var out uint64
+	for i := 0; i < 64; i++ {
+		if s>>i&1 == 1 {
+			if inverse {
+				out |= 1 << invPerm64Table[i]
+			} else {
+				out |= 1 << Perm64Table[i]
+			}
+		}
+	}
+	return out
+}
+
+var invPerm64Table = buildInvPerm64()
+
+func buildInvPerm64() [64]int {
+	var t [64]int
+	for i, p := range Perm64Table {
+		t[p] = i
+	}
+	return t
+}
+
+// addRoundKey64 XORs the round key and constant into the state:
+// U into bits 4i+1, V into bits 4i, the constant bits into positions
+// 3, 7, 11, 15, 19, 23, and a fixed 1 into bit 63.
+func (c *Cipher64) addRoundKey64(s uint64, r int) uint64 {
+	u := uint16(c.rk[r] >> 16)
+	v := uint16(c.rk[r])
+	for i := 0; i < 16; i++ {
+		s ^= uint64(u>>i&1) << (4*i + 1)
+		s ^= uint64(v>>i&1) << (4 * i)
+	}
+	rc := c.rc[r]
+	for j := 0; j < 6; j++ {
+		s ^= uint64(rc>>j&1) << (4*j + 3)
+	}
+	s ^= 1 << 63
+	return s
+}
+
+// EncryptRounds applies the first n rounds of GIFT-64. n must be in
+// [0, 28].
+func (c *Cipher64) EncryptRounds(s uint64, n int) uint64 {
+	if n < 0 || n > Rounds64 {
+		panic(fmt.Sprintf("gift: invalid GIFT-64 round count %d", n))
+	}
+	for r := 0; r < n; r++ {
+		s = subCells64(s, SBox)
+		s = permBits64(s, false)
+		s = c.addRoundKey64(s, r)
+	}
+	return s
+}
+
+// DecryptRounds inverts EncryptRounds.
+func (c *Cipher64) DecryptRounds(s uint64, n int) uint64 {
+	if n < 0 || n > Rounds64 {
+		panic(fmt.Sprintf("gift: invalid GIFT-64 round count %d", n))
+	}
+	for r := n - 1; r >= 0; r-- {
+		s = c.addRoundKey64(s, r) // the key addition is an involution
+		s = permBits64(s, true)
+		s = subCells64(s, SBoxInv)
+	}
+	return s
+}
+
+// Encrypt applies the full 28-round cipher.
+func (c *Cipher64) Encrypt(s uint64) uint64 { return c.EncryptRounds(s, Rounds64) }
+
+// Decrypt inverts Encrypt.
+func (c *Cipher64) Decrypt(s uint64) uint64 { return c.DecryptRounds(s, Rounds64) }

@@ -1,0 +1,220 @@
+package gift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSBoxIsPermutation(t *testing.T) {
+	var seen [16]bool
+	for _, y := range SBox {
+		if y > 15 || seen[y] {
+			t.Fatalf("S-box is not a permutation: %v", SBox)
+		}
+		seen[y] = true
+	}
+}
+
+func TestSBoxInverse(t *testing.T) {
+	for x := 0; x < 16; x++ {
+		if SBoxInv[SBox[x]] != byte(x) {
+			t.Fatalf("SBoxInv(SBox(%#x)) = %#x", x, SBoxInv[SBox[x]])
+		}
+	}
+}
+
+func TestSBoxMatchesPaperString(t *testing.T) {
+	// "1A4C6F392DB7508E" from Section 2.1.
+	want := "1A4C6F392DB7508E"
+	const digits = "0123456789ABCDEF"
+	for i, y := range SBox {
+		if digits[y] != want[i] {
+			t.Fatalf("S-box entry %d = %#x, want %c", i, y, want[i])
+		}
+	}
+}
+
+func TestDDTRowSums(t *testing.T) {
+	ddt := DDT()
+	for a := 0; a < 16; a++ {
+		sum := 0
+		for b := 0; b < 16; b++ {
+			sum += ddt[a][b]
+		}
+		if sum != 16 {
+			t.Errorf("DDT row %d sums to %d, want 16", a, sum)
+		}
+	}
+	if ddt[0][0] != 16 {
+		t.Errorf("DDT[0][0] = %d, want 16", ddt[0][0])
+	}
+	for b := 1; b < 16; b++ {
+		if ddt[0][b] != 0 {
+			t.Errorf("DDT[0][%d] = %d, want 0", b, ddt[0][b])
+		}
+	}
+}
+
+func TestDDTEntriesAreEven(t *testing.T) {
+	// Pairs (x, x⊕a) come in twos, so all DDT entries are even.
+	ddt := DDT()
+	for a := 1; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if ddt[a][b]%2 != 0 {
+				t.Errorf("DDT[%d][%d] = %d is odd", a, b, ddt[a][b])
+			}
+		}
+	}
+}
+
+func TestPaperDDTTransitions(t *testing.T) {
+	// The specific transitions quoted in Section 2.1:
+	// 2→5 has the 4 pairs {0,2,4,6}; 3→8 has the 2 pairs {d,e};
+	// so Pr[ΔY1 → ΔW1] = (4/16)(2/16) = 2^−5.
+	ddt := DDT()
+	if ddt[2][5] != 4 {
+		t.Errorf("DDT[2][5] = %d, want 4", ddt[2][5])
+	}
+	if ddt[3][8] != 2 {
+		t.Errorf("DDT[3][8] = %d, want 2", ddt[3][8])
+	}
+	// Round 2 transitions used by the Markov product.
+	if ddt[6][2] != 4 {
+		t.Errorf("DDT[6][2] = %d, want 4", ddt[6][2])
+	}
+	if ddt[2][5] != 4 {
+		t.Errorf("DDT[2][5] = %d, want 4", ddt[2][5])
+	}
+}
+
+func TestPaperValidTuplesRound1(t *testing.T) {
+	// Upper box: (Y1[0], W1[0], Y1'[0], W1'[0]) ∈
+	// {(0,1,2,4),(2,4,0,1),(4,6,6,3),(6,3,4,6)}.
+	for _, tu := range [][4]byte{{0, 1, 2, 4}, {2, 4, 0, 1}, {4, 6, 6, 3}, {6, 3, 4, 6}} {
+		if SBox[tu[0]] != tu[1] || tu[0]^2 != tu[2] || SBox[tu[2]] != tu[3] {
+			t.Errorf("upper tuple %v inconsistent with S-box", tu)
+		}
+	}
+	// Lower box: {(d,0,e,8),(e,8,d,0)}.
+	for _, tu := range [][4]byte{{0xd, 0, 0xe, 8}, {0xe, 8, 0xd, 0}} {
+		if SBox[tu[0]] != tu[1] || tu[0]^3 != tu[2] || SBox[tu[2]] != tu[3] {
+			t.Errorf("lower tuple %v inconsistent with S-box", tu)
+		}
+	}
+}
+
+func TestToyPermIsPermutation(t *testing.T) {
+	var seen [8]bool
+	for _, v := range ToyPerm {
+		if v < 0 || v > 7 || seen[v] {
+			t.Fatalf("ToyPerm is not a permutation: %v", ToyPerm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermLayerLinear(t *testing.T) {
+	f := func(a, b byte) bool {
+		return PermLayer(a^b) == PermLayer(a)^PermLayer(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermLayerPreservesWeight(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		a, b := byte(x), PermLayer(byte(x))
+		wa, wb := 0, 0
+		for k := 0; k < 8; k++ {
+			wa += int(a >> k & 1)
+			wb += int(b >> k & 1)
+		}
+		if wa != wb {
+			t.Fatalf("PermLayer changed Hamming weight of %#x", x)
+		}
+	}
+}
+
+func TestPermMapsCharacteristicDifference(t *testing.T) {
+	if got := PermLayer(0x85); got != 0x26 {
+		t.Fatalf("PermLayer(ΔW1) = %#x, want 0x26", got)
+	}
+}
+
+func TestToyEncryptBijective(t *testing.T) {
+	var seen [256]bool
+	for x := 0; x < 256; x++ {
+		y := ToyEncrypt(byte(x))
+		if seen[y] {
+			t.Fatalf("toy cipher is not a bijection: collision at output %#x", y)
+		}
+		seen[y] = true
+	}
+}
+
+// TestFigure1 is the headline reproduction of Section 2.1: the exact
+// characteristic probability is 2^−6 while the Markov product is 2^−9.
+func TestFigure1(t *testing.T) {
+	rep := Exhaustive(PaperCharacteristic)
+	if got, want := rep.ExactProb, math.Exp2(-6); got != want {
+		t.Errorf("exact probability = %v (2^%.2f), want 2^-6",
+			got, math.Log2(got))
+	}
+	if got, want := rep.Round1Prob, math.Exp2(-5); got != want {
+		t.Errorf("round-1 probability = %v, want 2^-5", got)
+	}
+	if got, want := rep.Round2Prob, math.Exp2(-4); got != want {
+		t.Errorf("round-2 probability = %v, want 2^-4", got)
+	}
+	if got, want := rep.MarkovProb, math.Exp2(-9); got != want {
+		t.Errorf("Markov product = %v, want 2^-9", got)
+	}
+}
+
+func TestFigure1ValidInputSet(t *testing.T) {
+	// The paper: only (Y1[0], Y1[1]) ∈ {(0,d),(0,e),(2,d),(2,e)} follow
+	// the characteristic. Our packing is low nibble = Y1[0].
+	rep := Exhaustive(PaperCharacteristic)
+	want := map[byte]bool{0xd0: true, 0xe0: true, 0xd2: true, 0xe2: true}
+	if len(rep.ValidInputs) != 4 {
+		t.Fatalf("%d valid inputs, want 4: %x", len(rep.ValidInputs), rep.ValidInputs)
+	}
+	for _, v := range rep.ValidInputs {
+		if !want[v] {
+			t.Errorf("unexpected valid input %#x", v)
+		}
+	}
+}
+
+func TestTraceStages(t *testing.T) {
+	// A valid input passes all three stages.
+	tr := Trace(0xd0, PaperCharacteristic)
+	if !tr.Round1 || !tr.Linear || !tr.Round2 {
+		t.Errorf("valid input 0xd0 trace = %+v", tr)
+	}
+	// An input failing round 1 reports nothing further.
+	tr = Trace(0x11, PaperCharacteristic)
+	if tr.Round1 {
+		w1 := SBoxLayer(0x11) ^ SBoxLayer(0x11^0x32)
+		if w1 != 0x85 {
+			t.Errorf("Trace(0x11) claimed round-1 match but ΔW1 = %#x", w1)
+		}
+	}
+	// Inputs (4,d),(6,e) etc. pass round 1 but not the full trail —
+	// this is exactly the non-Markov correlation.
+	tr = Trace(0xd4, PaperCharacteristic)
+	if !tr.Round1 {
+		t.Error("input (4,d) should satisfy round 1")
+	}
+	if tr.Round2 {
+		t.Error("input (4,d) should NOT satisfy the full characteristic")
+	}
+}
+
+func BenchmarkExhaustive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Exhaustive(PaperCharacteristic)
+	}
+}

@@ -1,0 +1,61 @@
+package gift
+
+// Exact output-difference distributions of the toy cipher and the
+// information-theoretically optimal distinguisher accuracy they imply.
+//
+// Because the toy state is 8 bits, the all-in-one distribution the
+// paper's neural networks can only *approximate* on GIMLI is exactly
+// enumerable here. For two input differences the optimal classifier is
+// the likelihood-ratio test, whose accuracy on balanced classes is
+// 1/2 + TV/2 where TV is the total-variation distance between the two
+// output-difference distributions. Comparing a trained network against
+// this bound measures how much of the all-in-one signal the network
+// actually captured.
+
+// ExactDiffDistribution enumerates Pr[ΔW2 = d] over all 256 inputs of
+// the 2-round toy cipher for the input difference delta. The returned
+// array is indexed by the output difference.
+func ExactDiffDistribution(delta byte) [256]float64 {
+	var dist [256]float64
+	for x := 0; x < 256; x++ {
+		d := ToyEncrypt(byte(x)) ^ ToyEncrypt(byte(x)^delta)
+		dist[d]++
+	}
+	for i := range dist {
+		dist[i] /= 256
+	}
+	return dist
+}
+
+// TotalVariationExact computes the total-variation distance between
+// two exact distributions.
+func TotalVariationExact(p, q [256]float64) float64 {
+	tv := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	return tv / 2
+}
+
+// OptimalPairAccuracy returns the accuracy of the optimal (maximum
+// likelihood) classifier distinguishing balanced samples of the two
+// input differences' output distributions: 1/2 + TV/2.
+func OptimalPairAccuracy(deltaA, deltaB byte) float64 {
+	pa := ExactDiffDistribution(deltaA)
+	pb := ExactDiffDistribution(deltaB)
+	return 0.5 + TotalVariationExact(pa, pb)/2
+}
+
+// UniformDist is the uniform distribution over the 256 output
+// differences, the RANDOM-oracle reference.
+func UniformDist() [256]float64 {
+	var u [256]float64
+	for i := range u {
+		u[i] = 1.0 / 256
+	}
+	return u
+}

@@ -1,0 +1,79 @@
+package gift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactDiffDistributionSumsToOne(t *testing.T) {
+	for _, delta := range []byte{0x01, 0x32, 0xff} {
+		dist := ExactDiffDistribution(delta)
+		sum := 0.0
+		for _, p := range dist {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("distribution for %#x sums to %v", delta, sum)
+		}
+	}
+}
+
+func TestExactDiffDistributionZeroDelta(t *testing.T) {
+	dist := ExactDiffDistribution(0)
+	if dist[0] != 1 {
+		t.Fatal("zero input difference must give zero output difference")
+	}
+}
+
+func TestExactDistributionMatchesFigure1(t *testing.T) {
+	// Pr[ΔW2 = 0x52 | ΔY1 = 0x32] must be the Figure 1 probability
+	// 2^-6.
+	dist := ExactDiffDistribution(0x32)
+	if dist[0x52] != 1.0/64 {
+		t.Fatalf("Pr[0x52] = %v, want 2^-6", dist[0x52])
+	}
+}
+
+func TestTotalVariationProperties(t *testing.T) {
+	a := ExactDiffDistribution(0x32)
+	b := ExactDiffDistribution(0x01)
+	if tv := TotalVariationExact(a, a); tv != 0 {
+		t.Fatalf("TV(a,a) = %v", tv)
+	}
+	tv := TotalVariationExact(a, b)
+	if tv <= 0 || tv > 1 {
+		t.Fatalf("TV(a,b) = %v out of (0, 1]", tv)
+	}
+	if TotalVariationExact(b, a) != tv {
+		t.Fatal("TV not symmetric")
+	}
+}
+
+func TestOptimalPairAccuracyBounds(t *testing.T) {
+	acc := OptimalPairAccuracy(0x32, 0x01)
+	if acc < 0.5 || acc > 1 {
+		t.Fatalf("optimal accuracy %v out of [0.5, 1]", acc)
+	}
+	// The two toy distributions are concentrated (8-bit state, few
+	// rounds), so the optimal distinguisher is strong.
+	if acc < 0.7 {
+		t.Fatalf("optimal accuracy %v suspiciously weak for a 2-round toy", acc)
+	}
+	// Distinguishing a distribution from itself is coin flipping.
+	if self := OptimalPairAccuracy(0x32, 0x32); self != 0.5 {
+		t.Fatalf("self-accuracy %v, want 0.5", self)
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	u := UniformDist()
+	if u[0] != 1.0/256 || u[255] != 1.0/256 {
+		t.Fatal("uniform distribution wrong")
+	}
+	// The toy cipher's distribution is far from uniform: the oracle
+	// game on the toy has high optimal advantage.
+	a := ExactDiffDistribution(0x32)
+	if tv := TotalVariationExact(a, u); tv < 0.5 {
+		t.Fatalf("cipher-vs-uniform TV %v unexpectedly small", tv)
+	}
+}

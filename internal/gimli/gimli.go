@@ -1,0 +1,196 @@
+// Package gimli implements the GIMLI-384 permutation of Bernstein et
+// al. (CHES 2017), the primitive targeted by the paper's distinguishers.
+//
+// The permutation operates on a 384-bit state viewed as a 3×4 matrix of
+// 32-bit words. Each round applies a 96-bit SP-box to every column,
+// followed every second round by a linear swap of the top row and every
+// fourth round by a round-constant addition (Algorithm 1 of the paper).
+// Rounds are numbered 24 down to 1; "r rounds of GIMLI" in the paper and
+// here means rounds 24, 23, …, 24−r+1, i.e. the prefix of the real
+// permutation, which is what a round-reduced GIMLI-HASH or GIMLI-CIPHER
+// would execute.
+//
+// Two independent implementations are provided: Permute/PermuteRounds
+// (flat-array, unrolled, used everywhere) and SpecPermuteRounds (a
+// literal transcription of Algorithm 1 on a [3][4]uint32 matrix, used to
+// cross-validate the optimized code, since official KATs are not
+// available offline). An exact inverse permutation is also provided and
+// doubles as a bijectivity witness.
+package gimli
+
+import "repro/internal/bits"
+
+// StateBytes is the size of the GIMLI state in bytes.
+const StateBytes = 48
+
+// Words is the number of 32-bit words in the GIMLI state.
+const Words = 12
+
+// FullRounds is the number of rounds of the full permutation.
+const FullRounds = 24
+
+// RoundConstantBase is XORed (together with the round number) into
+// word 0 every fourth round.
+const RoundConstantBase = 0x9e377900
+
+// State is the 384-bit GIMLI state. Word s[4*i+j] is the matrix entry
+// at row i, column j. The byte serialization is the NIST LWC one:
+// words in index order, each little-endian.
+type State [Words]uint32
+
+// SetBytes loads the state from a 48-byte little-endian serialization.
+// It panics if b is not exactly StateBytes long.
+func (s *State) SetBytes(b []byte) {
+	if len(b) != StateBytes {
+		panic("gimli: SetBytes requires exactly 48 bytes")
+	}
+	for i := 0; i < Words; i++ {
+		s[i] = bits.Load32LE(b[4*i:])
+	}
+}
+
+// Bytes returns the 48-byte little-endian serialization of the state.
+func (s *State) Bytes() []byte {
+	b := make([]byte, StateBytes)
+	for i := 0; i < Words; i++ {
+		bits.Store32LE(b[4*i:], s[i])
+	}
+	return b
+}
+
+// XORBytes XORs b into the first len(b) bytes of the state's
+// serialization. It panics if len(b) > StateBytes. This is the sponge
+// absorb primitive.
+func (s *State) XORBytes(b []byte) {
+	if len(b) > StateBytes {
+		panic("gimli: XORBytes input longer than state")
+	}
+	for i, v := range b {
+		s[i/4] ^= uint32(v) << (8 * (i % 4))
+	}
+}
+
+// ByteAt returns byte i of the state's serialization without
+// materializing the whole buffer.
+func (s *State) ByteAt(i int) byte {
+	return byte(s[i/4] >> (8 * (i % 4)))
+}
+
+// XORByte XORs v into byte i of the state's serialization.
+func (s *State) XORByte(i int, v byte) {
+	s[i/4] ^= uint32(v) << (8 * (i % 4))
+}
+
+// SPBox applies the GIMLI 96-bit SP-box to one column. The inputs are
+// the column's row-0, row-1 and row-2 words; the outputs are the new
+// words in the same order.
+func SPBox(s0, s1, s2 uint32) (uint32, uint32, uint32) {
+	x := bits.RotL32(s0, 24)
+	y := bits.RotL32(s1, 9)
+	z := s2
+	n2 := x ^ (z << 1) ^ ((y & z) << 2)
+	n1 := y ^ x ^ ((x | z) << 1)
+	n0 := z ^ y ^ ((x & y) << 3)
+	return n0, n1, n2
+}
+
+// SPBoxInverse inverts SPBox. It recovers the column inputs from the
+// outputs bit-serially: every output bit at position k depends only on
+// input bits at positions ≤ k (the SP-box uses left shifts only), so the
+// inputs can be reconstructed from the least-significant bit upward.
+func SPBoxInverse(n0, n1, n2 uint32) (uint32, uint32, uint32) {
+	var x, y, z uint32
+	for k := uint(0); k < 32; k++ {
+		bit := uint32(1) << k
+		// n2 = x ^ (z<<1) ^ ((y&z)<<2)
+		xk := (n2 ^ (z << 1) ^ ((y & z) << 2)) & bit
+		x |= xk
+		// n1 = y ^ x ^ ((x|z)<<1)
+		yk := (n1 ^ x ^ ((x | z) << 1)) & bit
+		y |= yk
+		// n0 = z ^ y ^ ((x&y)<<3)
+		zk := (n0 ^ y ^ ((x & y) << 3)) & bit
+		z |= zk
+	}
+	return bits.RotR32(x, 24), bits.RotR32(y, 9), z
+}
+
+// smallSwap swaps (s0,0 s0,1) and (s0,2 s0,3).
+func smallSwap(s *State) {
+	s[0], s[1] = s[1], s[0]
+	s[2], s[3] = s[3], s[2]
+}
+
+// bigSwap swaps (s0,0 s0,2) and (s0,1 s0,3).
+func bigSwap(s *State) {
+	s[0], s[2] = s[2], s[0]
+	s[1], s[3] = s[3], s[1]
+}
+
+// round applies GIMLI round number r (24 ≥ r ≥ 1) to the state.
+func round(s *State, r int) {
+	for j := 0; j < 4; j++ {
+		s[j], s[4+j], s[8+j] = SPBox(s[j], s[4+j], s[8+j])
+	}
+	switch r & 3 {
+	case 0:
+		smallSwap(s)
+		s[0] ^= RoundConstantBase ^ uint32(r)
+	case 2:
+		bigSwap(s)
+	}
+}
+
+// inverseRound undoes round r.
+func inverseRound(s *State, r int) {
+	switch r & 3 {
+	case 0:
+		s[0] ^= RoundConstantBase ^ uint32(r)
+		smallSwap(s) // swaps are involutions
+	case 2:
+		bigSwap(s)
+	}
+	for j := 0; j < 4; j++ {
+		s[j], s[4+j], s[8+j] = SPBoxInverse(s[j], s[4+j], s[8+j])
+	}
+}
+
+// Permute applies the full 24-round GIMLI permutation in place.
+func Permute(s *State) { PermuteRounds(s, FullRounds) }
+
+// PermuteRounds applies the first n rounds of GIMLI (round numbers 24
+// down to 24−n+1) in place. n must be in [0, 24].
+func PermuteRounds(s *State, n int) {
+	PermuteFrom(s, FullRounds, n)
+}
+
+// PermuteFrom applies n rounds starting at round number start and
+// counting down (start, start−1, …, start−n+1). It panics if the window
+// is out of range. PermuteFrom(s, 24, n) is the standard round-reduced
+// prefix; other windows are useful for analyzing interior rounds.
+func PermuteFrom(s *State, start, n int) {
+	if n < 0 || start > FullRounds || start-n < 0 {
+		panic("gimli: round window out of range")
+	}
+	for r := start; r > start-n; r-- {
+		round(s, r)
+	}
+}
+
+// InversePermute undoes the full 24-round permutation in place.
+func InversePermute(s *State) { InverseRounds(s, FullRounds) }
+
+// InverseRounds undoes PermuteRounds(s, n) in place.
+func InverseRounds(s *State, n int) {
+	InverseFrom(s, FullRounds, n)
+}
+
+// InverseFrom undoes PermuteFrom(s, start, n) in place.
+func InverseFrom(s *State, start, n int) {
+	if n < 0 || start > FullRounds || start-n < 0 {
+		panic("gimli: round window out of range")
+	}
+	for r := start - n + 1; r <= start; r++ {
+		inverseRound(s, r)
+	}
+}

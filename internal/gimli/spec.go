@@ -1,0 +1,72 @@
+package gimli
+
+// This file is a deliberately literal transcription of Algorithm 1 of
+// the paper (equivalently, the GIMLI specification) operating on a
+// [3][4]uint32 matrix. It exists purely to cross-validate the optimized
+// implementation in gimli.go: official known-answer tests are not
+// available in this offline environment, so correctness is established
+// by agreement of two independently written implementations plus the
+// algebraic property tests.
+
+// Matrix is the 3×4 view of the GIMLI state used by the spec
+// transcription. Matrix[i][j] is row i, column j.
+type Matrix [3][4]uint32
+
+// ToMatrix converts the flat state to the matrix view.
+func (s *State) ToMatrix() Matrix {
+	var m Matrix
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			m[i][j] = s[4*i+j]
+		}
+	}
+	return m
+}
+
+// FromMatrix loads the flat state from the matrix view.
+func (s *State) FromMatrix(m Matrix) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			s[4*i+j] = m[i][j]
+		}
+	}
+}
+
+func rotl(x uint32, k uint) uint32 {
+	if k == 0 {
+		return x
+	}
+	return (x << k) | (x >> (32 - k))
+}
+
+// SpecPermuteRounds applies n rounds (round numbers start down to
+// start−n+1) following the paper's Algorithm 1 line by line.
+func SpecPermuteRounds(m *Matrix, start, n int) {
+	for r := start; r > start-n; r-- {
+		// SP-box layer.
+		for j := 0; j <= 3; j++ {
+			x := rotl(m[0][j], 24)
+			y := rotl(m[1][j], 9)
+			z := m[2][j]
+			m[2][j] = x ^ (z << 1) ^ ((y & z) << 2)
+			m[1][j] = y ^ x ^ ((x | z) << 1)
+			m[0][j] = z ^ y ^ ((x & y) << 3)
+		}
+		// Linear layer.
+		if r%4 == 0 {
+			// Small-Swap.
+			m[0][0], m[0][1], m[0][2], m[0][3] = m[0][1], m[0][0], m[0][3], m[0][2]
+		} else if r%4 == 2 {
+			// Big-Swap.
+			m[0][0], m[0][1], m[0][2], m[0][3] = m[0][2], m[0][3], m[0][0], m[0][1]
+		}
+		// Add constant.
+		if r%4 == 0 {
+			m[0][0] ^= 0x9e377900 ^ uint32(r)
+		}
+	}
+}
+
+// SpecPermute applies the full 24-round permutation via the spec
+// transcription.
+func SpecPermute(m *Matrix) { SpecPermuteRounds(m, FullRounds, FullRounds) }

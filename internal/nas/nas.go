@@ -1,0 +1,168 @@
+// Package nas provides the automated counterpart to the paper's manual
+// architecture search (Section 5): random search over MLP
+// hyperparameters in the style of Bergstra–Bengio ("Random search for
+// hyper-parameter optimization", cited as [7] by the paper). The paper
+// notes such automation "requires significant resources" and reports a
+// manual search instead; this package makes the automated route
+// available and cheap at reduced data scales.
+package nas
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/prng"
+)
+
+// SearchSpace bounds the random search. Widths are sampled
+// log-uniformly between Min and Max; depth uniformly in
+// [MinDepth, MaxDepth]; the activation from Activations.
+type SearchSpace struct {
+	MinWidth, MaxWidth int
+	MinDepth, MaxDepth int
+	Activations        []nn.ActKind
+	Epochs             []int     // candidate epoch counts
+	LearningRates      []float64 // candidate Adam rates
+}
+
+// DefaultSpace covers the region Table 3's MLPs live in.
+func DefaultSpace() SearchSpace {
+	return SearchSpace{
+		MinWidth: 32, MaxWidth: 1024,
+		MinDepth: 1, MaxDepth: 4,
+		Activations:   []nn.ActKind{nn.ReLU, nn.LeakyReLU, nn.Tanh},
+		Epochs:        []int{3, 5},
+		LearningRates: []float64{0.0005, 0.001, 0.002},
+	}
+}
+
+// Candidate is one sampled configuration and its result.
+type Candidate struct {
+	Hidden     []int
+	Activation nn.ActKind
+	Epochs     int
+	LR         float64
+	Params     int
+	Accuracy   float64
+	TrainTime  time.Duration
+	Err        string
+}
+
+// Describe renders the candidate's architecture in the paper's tuple
+// notation (input width and the two-class output included).
+func (c Candidate) Describe(in int) string {
+	s := fmt.Sprintf("(%d", in)
+	for _, h := range c.Hidden {
+		s += fmt.Sprintf(", %d", h)
+	}
+	return s + ", 2)"
+}
+
+// Config controls a search run.
+type Config struct {
+	Space         SearchSpace
+	Trials        int
+	TrainPerClass int
+	ValPerClass   int
+	Seed          uint64
+	// OnTrial, if non-nil, is called after each candidate finishes.
+	OnTrial func(i int, c Candidate)
+}
+
+// Search samples Trials random configurations, trains each as a
+// distinguisher for the scenario, and returns all candidates sorted by
+// validation accuracy (best first).
+func Search(s core.Scenario, cfg Config) ([]Candidate, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("nas: trials must be positive, got %d", cfg.Trials)
+	}
+	sp := cfg.Space
+	if sp.MaxWidth == 0 {
+		sp = DefaultSpace()
+	}
+	if sp.MinWidth <= 0 || sp.MaxWidth < sp.MinWidth || sp.MinDepth <= 0 || sp.MaxDepth < sp.MinDepth {
+		return nil, fmt.Errorf("nas: invalid search space %+v", sp)
+	}
+	if len(sp.Activations) == 0 || len(sp.Epochs) == 0 || len(sp.LearningRates) == 0 {
+		return nil, fmt.Errorf("nas: empty choice lists in search space")
+	}
+	if cfg.TrainPerClass <= 0 {
+		cfg.TrainPerClass = 2048
+	}
+	if cfg.ValPerClass <= 0 {
+		cfg.ValPerClass = 1024
+	}
+
+	r := prng.New(cfg.Seed ^ 0xbada55)
+	cands := make([]Candidate, 0, cfg.Trials)
+	for i := 0; i < cfg.Trials; i++ {
+		c := sample(sp, r)
+		net, err := nn.MLP(s.FeatureLen(), c.Hidden, s.Classes(), c.Activation, prng.New(r.Uint64()))
+		if err != nil {
+			return nil, err
+		}
+		c.Params = net.ParamCount()
+		clf := &core.NNClassifier{Net: net, Epochs: c.Epochs, Batch: 128, LR: c.LR, Seed: r.Uint64()}
+		start := time.Now()
+		d, err := core.Train(s, clf, core.TrainConfig{
+			TrainPerClass: cfg.TrainPerClass,
+			ValPerClass:   cfg.ValPerClass,
+			Seed:          cfg.Seed, // same data for every candidate: fair comparison
+		})
+		c.TrainTime = time.Since(start)
+		if d != nil {
+			c.Accuracy = d.Accuracy
+		}
+		if err != nil && d == nil {
+			c.Err = err.Error()
+		}
+		cands = append(cands, c)
+		if cfg.OnTrial != nil {
+			cfg.OnTrial(i, c)
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].Accuracy > cands[b].Accuracy })
+	return cands, nil
+}
+
+// sample draws one configuration.
+func sample(sp SearchSpace, r *prng.Rand) Candidate {
+	depth := sp.MinDepth + r.Intn(sp.MaxDepth-sp.MinDepth+1)
+	hidden := make([]int, depth)
+	for i := range hidden {
+		hidden[i] = logUniformInt(sp.MinWidth, sp.MaxWidth, r)
+	}
+	return Candidate{
+		Hidden:     hidden,
+		Activation: sp.Activations[r.Intn(len(sp.Activations))],
+		Epochs:     sp.Epochs[r.Intn(len(sp.Epochs))],
+		LR:         sp.LearningRates[r.Intn(len(sp.LearningRates))],
+	}
+}
+
+// logUniformInt samples an integer log-uniformly from [lo, hi].
+func logUniformInt(lo, hi int, r *prng.Rand) int {
+	if lo == hi {
+		return lo
+	}
+	// Sample an exponent uniformly between log2(lo) and log2(hi) by
+	// repeated doubling: choose k with lo·2^k ≤ hi, then a uniform
+	// value in [lo·2^k, min(lo·2^(k+1), hi)].
+	levels := 0
+	for v := lo; v*2 <= hi; v *= 2 {
+		levels++
+	}
+	k := r.Intn(levels + 1)
+	base := lo << k
+	upper := base * 2
+	if upper > hi {
+		upper = hi
+	}
+	if upper <= base {
+		return base
+	}
+	return base + r.Intn(upper-base+1)
+}

@@ -1,0 +1,113 @@
+package nas
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/prng"
+)
+
+func TestSearchFindsDistinguisher(t *testing.T) {
+	s, err := core.NewGimliCipherScenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	cands, err := Search(s, Config{
+		Trials:        4,
+		TrainPerClass: 512,
+		ValPerClass:   512,
+		Seed:          1,
+		Space: SearchSpace{
+			MinWidth: 16, MaxWidth: 64,
+			MinDepth: 1, MaxDepth: 2,
+			Activations:   []nn.ActKind{nn.ReLU},
+			Epochs:        []int{2},
+			LearningRates: []float64{0.001},
+		},
+		OnTrial: func(i int, c Candidate) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 || calls != 4 {
+		t.Fatalf("got %d candidates, %d callbacks", len(cands), calls)
+	}
+	// Sorted best-first; 4-round GIMLI should be easy for all of them.
+	if cands[0].Accuracy < 0.9 {
+		t.Fatalf("best candidate accuracy %v", cands[0].Accuracy)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Accuracy > cands[i-1].Accuracy {
+			t.Fatal("candidates not sorted by accuracy")
+		}
+	}
+	for _, c := range cands {
+		if c.Params <= 0 || c.TrainTime <= 0 {
+			t.Fatalf("candidate missing metadata: %+v", c)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, _ := core.NewGimliCipherScenario(4)
+	if _, err := Search(s, Config{Trials: 0}); err == nil {
+		t.Error("0 trials accepted")
+	}
+	if _, err := Search(s, Config{Trials: 1, Space: SearchSpace{MinWidth: -1, MaxWidth: 4, MinDepth: 1, MaxDepth: 1, Activations: []nn.ActKind{nn.ReLU}, Epochs: []int{1}, LearningRates: []float64{0.001}}}); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := Search(s, Config{Trials: 1, Space: SearchSpace{MinWidth: 4, MaxWidth: 8, MinDepth: 1, MaxDepth: 1}}); err == nil {
+		t.Error("empty choice lists accepted")
+	}
+}
+
+func TestSampleWithinSpace(t *testing.T) {
+	sp := DefaultSpace()
+	r := prng.New(2)
+	for i := 0; i < 200; i++ {
+		c := sample(sp, r)
+		if len(c.Hidden) < sp.MinDepth || len(c.Hidden) > sp.MaxDepth {
+			t.Fatalf("depth %d out of range", len(c.Hidden))
+		}
+		for _, h := range c.Hidden {
+			if h < sp.MinWidth || h > sp.MaxWidth {
+				t.Fatalf("width %d out of range", h)
+			}
+		}
+		if c.Epochs == 0 || c.LR == 0 {
+			t.Fatal("unsampled fields")
+		}
+	}
+}
+
+func TestLogUniformInt(t *testing.T) {
+	r := prng.New(3)
+	seenLow, seenHigh := false, false
+	for i := 0; i < 2000; i++ {
+		v := logUniformInt(32, 1024, r)
+		if v < 32 || v > 1024 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if v < 64 {
+			seenLow = true
+		}
+		if v > 512 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Fatal("log-uniform sampling did not cover both ends")
+	}
+	if logUniformInt(7, 7, r) != 7 {
+		t.Fatal("degenerate range wrong")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := Candidate{Hidden: []int{128, 1024}}
+	if got := c.Describe(128); got != "(128, 128, 1024, 2)" {
+		t.Fatalf("Describe = %q", got)
+	}
+}

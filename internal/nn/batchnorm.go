@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm normalizes each feature over the batch to zero mean and
+// unit variance, then applies a learned affine transform (γ, β).
+// Running statistics collected during training are used at inference.
+//
+// Gohr's CRYPTO 2019 distinguishers (the paper's Section 2.3 baseline)
+// interleave batch normalization with every convolution; this layer
+// exists so that the GohrNet builder in residual.go reproduces that
+// architecture family faithfully.
+type BatchNorm struct {
+	Dim      int
+	Momentum float64 // running-average momentum, conventionally 0.9
+	Eps      float64
+
+	gamma, beta *Param
+	runMean     []float64
+	runVar      []float64
+
+	// Training caches.
+	xHat    *Matrix
+	std     []float64
+	trained bool
+}
+
+// NewBatchNorm creates a batch-normalization layer for feature width
+// dim with γ = 1, β = 0.
+func NewBatchNorm(dim int) *BatchNorm {
+	if dim <= 0 {
+		panic(fmt.Sprintf("nn: invalid BatchNorm dim %d", dim))
+	}
+	b := &BatchNorm{
+		Dim:      dim,
+		Momentum: 0.9,
+		Eps:      1e-5,
+		gamma:    &Param{Name: fmt.Sprintf("bn%d.gamma", dim), W: make([]float64, dim), Grad: make([]float64, dim)},
+		beta:     &Param{Name: fmt.Sprintf("bn%d.beta", dim), W: make([]float64, dim), Grad: make([]float64, dim)},
+		runMean:  make([]float64, dim),
+		runVar:   make([]float64, dim),
+	}
+	for i := range b.gamma.W {
+		b.gamma.W[i] = 1
+		b.runVar[i] = 1
+	}
+	return b
+}
+
+// Name identifies the layer.
+func (b *BatchNorm) Name() string { return fmt.Sprintf("BatchNorm(%d)", b.Dim) }
+
+// InDim returns the feature width.
+func (b *BatchNorm) InDim() int { return b.Dim }
+
+// OutDim returns the feature width.
+func (b *BatchNorm) OutDim() int { return b.Dim }
+
+// Params returns γ and β.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.gamma, b.beta} }
+
+// Forward normalizes with batch statistics (train) or running
+// statistics (inference).
+func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+	if x.Cols != b.Dim {
+		panic(fmt.Sprintf("nn: %s got input width %d", b.Name(), x.Cols))
+	}
+	out := NewMatrix(x.Rows, x.Cols)
+	if !train {
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			orow := out.Row(i)
+			for j := range row {
+				xh := (row[j] - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Eps)
+				orow[j] = b.gamma.W[j]*xh + b.beta.W[j]
+			}
+		}
+		return out
+	}
+
+	n := float64(x.Rows)
+	mean := make([]float64, b.Dim)
+	variance := make([]float64, b.Dim)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+
+	b.std = make([]float64, b.Dim)
+	for j := range b.std {
+		b.std[j] = math.Sqrt(variance[j] + b.Eps)
+	}
+	b.xHat = NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		xh := b.xHat.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean[j]) / b.std[j]
+			orow[j] = b.gamma.W[j]*xh[j] + b.beta.W[j]
+		}
+	}
+	// Update running statistics.
+	for j := range mean {
+		b.runMean[j] = b.Momentum*b.runMean[j] + (1-b.Momentum)*mean[j]
+		b.runVar[j] = b.Momentum*b.runVar[j] + (1-b.Momentum)*variance[j]
+	}
+	b.trained = true
+	return out
+}
+
+// Backward implements the standard batch-norm gradient:
+// dxHat = g·γ; dx = (dxHat − mean(dxHat) − xHat·mean(dxHat∘xHat)) / std.
+func (b *BatchNorm) Backward(grad *Matrix) *Matrix {
+	if b.xHat == nil {
+		panic("nn: BatchNorm.Backward before Forward(train=true)")
+	}
+	n := float64(grad.Rows)
+	dx := NewMatrix(grad.Rows, grad.Cols)
+
+	// Per-feature sums.
+	sumDxHat := make([]float64, b.Dim)
+	sumDxHatXHat := make([]float64, b.Dim)
+	for i := 0; i < grad.Rows; i++ {
+		g := grad.Row(i)
+		xh := b.xHat.Row(i)
+		for j := range g {
+			dxh := g[j] * b.gamma.W[j]
+			sumDxHat[j] += dxh
+			sumDxHatXHat[j] += dxh * xh[j]
+			// Parameter gradients while we are here.
+			b.gamma.Grad[j] += g[j] * xh[j]
+			b.beta.Grad[j] += g[j]
+		}
+	}
+	for i := 0; i < grad.Rows; i++ {
+		g := grad.Row(i)
+		xh := b.xHat.Row(i)
+		dxr := dx.Row(i)
+		for j := range g {
+			dxh := g[j] * b.gamma.W[j]
+			dxr[j] = (dxh - sumDxHat[j]/n - xh[j]*sumDxHatXHat[j]/n) / b.std[j]
+		}
+	}
+	return dx
+}
+
+// RunningStats exposes the inference statistics (for serialization).
+func (b *BatchNorm) RunningStats() (mean, variance []float64) { return b.runMean, b.runVar }
+
+// SetRunningStats overwrites the inference statistics (for
+// deserialization). Lengths must equal Dim.
+func (b *BatchNorm) SetRunningStats(mean, variance []float64) {
+	if len(mean) != b.Dim || len(variance) != b.Dim {
+		panic("nn: SetRunningStats length mismatch")
+	}
+	copy(b.runMean, mean)
+	copy(b.runVar, variance)
+}

@@ -1,0 +1,241 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestBatchNormNormalizesBatch(t *testing.T) {
+	bn := NewBatchNorm(3)
+	r := prng.New(1)
+	x := NewMatrix(200, 3)
+	for i := 0; i < x.Rows; i++ {
+		x.Set(i, 0, 5+2*r.NormFloat64())
+		x.Set(i, 1, -3+0.5*r.NormFloat64())
+		x.Set(i, 2, r.NormFloat64())
+	}
+	out := bn.Forward(x, true)
+	for j := 0; j < 3; j++ {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < out.Rows; i++ {
+			v := out.At(i, j)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(out.Rows)
+		variance := sumSq/float64(out.Rows) - mean*mean
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("feature %d mean %v after normalization", j, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("feature %d variance %v after normalization", j, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm(2)
+	r := prng.New(2)
+	// Train on many batches with mean 10 so the running mean converges.
+	for step := 0; step < 200; step++ {
+		x := NewMatrix(64, 2)
+		for i := 0; i < 64; i++ {
+			x.Set(i, 0, 10+r.NormFloat64())
+			x.Set(i, 1, -10+r.NormFloat64())
+		}
+		bn.Forward(x, true)
+	}
+	mean, variance := bn.RunningStats()
+	if math.Abs(mean[0]-10) > 0.5 || math.Abs(mean[1]+10) > 0.5 {
+		t.Fatalf("running means %v", mean)
+	}
+	if variance[0] < 0.5 || variance[0] > 2 {
+		t.Fatalf("running variance %v", variance)
+	}
+	// Inference on a single sample at the training mean should give ≈ 0.
+	x := FromRows([][]float64{{10, -10}})
+	out := bn.Forward(x, false)
+	if math.Abs(out.At(0, 0)) > 0.5 || math.Abs(out.At(0, 1)) > 0.5 {
+		t.Fatalf("inference output %v", out.Row(0))
+	}
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	r := prng.New(3)
+	net, err := NewNetwork(
+		NewDense(4, 6, r),
+		NewBatchNorm(6),
+		NewActivation(Tanh, 6),
+		NewDense(6, 2, r),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := smallBatch(r, 8, 4, 2)
+	checkGradients(t, net, x, y, 1e-4)
+}
+
+func TestBatchNormValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim 0 accepted")
+		}
+	}()
+	NewBatchNorm(0)
+}
+
+func TestBatchNormSetRunningStats(t *testing.T) {
+	bn := NewBatchNorm(2)
+	bn.SetRunningStats([]float64{1, 2}, []float64{3, 4})
+	m, v := bn.RunningStats()
+	if m[0] != 1 || v[1] != 4 {
+		t.Fatal("stats not set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	bn.SetRunningStats([]float64{1}, []float64{1})
+}
+
+func TestResidualValidation(t *testing.T) {
+	r := prng.New(4)
+	if _, err := NewResidual(); err == nil {
+		t.Error("empty body accepted")
+	}
+	if _, err := NewResidual(NewDense(4, 8, r)); err == nil {
+		t.Error("width-changing body accepted")
+	}
+	if _, err := NewResidual(NewDense(4, 8, r), NewDense(6, 4, r)); err == nil {
+		t.Error("mismatched body accepted")
+	}
+	if _, err := NewResidual(NewDense(4, 8, r), NewDense(8, 4, r)); err != nil {
+		t.Errorf("valid body rejected: %v", err)
+	}
+}
+
+func TestResidualIdentityWithZeroBody(t *testing.T) {
+	// A body whose final Dense has zero weights makes the block an
+	// exact identity.
+	r := prng.New(5)
+	d1 := NewDense(3, 5, r)
+	d2 := NewDense(5, 3, r)
+	d2.SetWeights(make([]float64, 15), make([]float64, 3))
+	block, err := NewResidual(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randMatrix(r, 4, 3)
+	out := block.Forward(x, false)
+	if !Equalish(out, x, 1e-12) {
+		t.Fatal("zero-body residual is not the identity")
+	}
+}
+
+func TestResidualGradient(t *testing.T) {
+	r := prng.New(6)
+	body := []Layer{
+		NewDense(5, 5, r),
+		NewActivation(Tanh, 5),
+	}
+	block, err := NewResidual(body...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(NewDense(3, 5, r), block, NewDense(5, 2, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := smallBatch(r, 6, 3, 2)
+	checkGradients(t, net, x, y, 1e-4)
+}
+
+func TestGohrNetBuildsAndHasResiduals(t *testing.T) {
+	r := prng.New(7)
+	net, err := GohrNet(32, 2, 8, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.InDim() != 32 || net.Classes() != 2 {
+		t.Fatalf("shape %d→%d", net.InDim(), net.Classes())
+	}
+	resBlocks := 0
+	for _, l := range net.Layers() {
+		if _, ok := l.(*Residual); ok {
+			resBlocks++
+		}
+	}
+	if resBlocks != 2 {
+		t.Fatalf("%d residual blocks, want 2", resBlocks)
+	}
+	// Forward/backward smoke test with training.
+	x := randMatrix(r, 16, 32)
+	y := make([]int, 16)
+	if _, err := net.Fit(x, y, FitConfig{Epochs: 1, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGohrNetValidation(t *testing.T) {
+	r := prng.New(8)
+	if _, err := GohrNet(32, 3, 8, 1, r); err == nil {
+		t.Error("non-divisible channels accepted")
+	}
+	if _, err := GohrNet(0, 2, 8, 1, r); err == nil {
+		t.Error("zero input accepted")
+	}
+	if _, err := GohrNet(32, 2, 0, 1, r); err == nil {
+		t.Error("zero filters accepted")
+	}
+	if _, err := GohrNet(32, 2, 8, -1, r); err == nil {
+		t.Error("negative depth accepted")
+	}
+}
+
+func TestGohrNetGradient(t *testing.T) {
+	// Small instance: the full layer zoo (conv, batchnorm, residual,
+	// dense) backpropagates correctly end to end.
+	r := prng.New(9)
+	net, err := GohrNet(8, 2, 3, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := smallBatch(r, 6, 8, 2)
+	checkGradients(t, net, x, y, 2e-4)
+}
+
+func TestGohrNetSerializeRoundTrip(t *testing.T) {
+	r := prng.New(10)
+	net, err := GohrNet(16, 2, 4, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train a little so BatchNorm running stats are non-trivial.
+	x := randMatrix(r, 32, 16)
+	y := make([]int, 32)
+	for i := range y {
+		y[i] = r.Intn(2)
+	}
+	if _, err := net.Fit(x, y, FitConfig{Epochs: 2, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := randMatrix(r, 5, 16)
+	if !Equalish(net.Probs(probe), back.Probs(probe), 1e-12) {
+		t.Fatal("GohrNet round trip differs (residual/batchnorm serialization broken)")
+	}
+	if back.ParamCount() != net.ParamCount() {
+		t.Fatal("param counts differ after round trip")
+	}
+}

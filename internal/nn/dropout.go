@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// Dropout randomly zeroes a fraction of its inputs during training and
+// scales the survivors by 1/(1−p) ("inverted dropout"), acting as the
+// identity at inference time. Section 5 of the paper observes its
+// models overfit beyond 5 epochs; dropout is the standard mitigation
+// and gives the repository an ablation axis for longer training runs.
+type Dropout struct {
+	P   float64 // drop probability in [0, 1)
+	Dim int
+
+	r    *prng.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer for feature width dim with drop
+// probability p, deterministic under the given seed.
+func NewDropout(p float64, dim int, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v outside [0, 1)", p))
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("nn: invalid dropout dim %d", dim))
+	}
+	return &Dropout{P: p, Dim: dim, r: prng.New(seed ^ 0xd409)}
+}
+
+// Name identifies the layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(p=%.2f)", d.P) }
+
+// InDim returns the feature width.
+func (d *Dropout) InDim() int { return d.Dim }
+
+// OutDim returns the feature width.
+func (d *Dropout) OutDim() int { return d.Dim }
+
+// Params returns nil: dropout is parameter-free.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward applies the mask in training mode and is the identity
+// otherwise.
+func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := NewMatrix(x.Rows, x.Cols)
+	d.mask = make([]float64, len(x.Data))
+	keepScale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.r.Float64() >= d.P {
+			d.mask[i] = keepScale
+			out.Data[i] = v * keepScale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(grad *Matrix) *Matrix {
+	if d.mask == nil {
+		// Forward ran in inference mode or with P = 0: identity.
+		return grad
+	}
+	out := NewMatrix(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		out.Data[i] = g * d.mask[i]
+	}
+	return out
+}
+
+// LRScheduler is implemented by optimizers whose learning rate can be
+// changed between epochs (both SGD and Adam qualify).
+type LRScheduler interface {
+	SetLR(lr float64)
+}
+
+// SetLR adjusts the SGD learning rate.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// SetLR adjusts the Adam learning rate.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// CyclicLR returns a cyclic learning-rate schedule oscillating
+// linearly between lo and hi with the given period in epochs — the
+// schedule Gohr's SPECK networks trained with.
+func CyclicLR(lo, hi float64, period int) func(epoch int) float64 {
+	if period < 2 {
+		period = 2
+	}
+	return func(epoch int) float64 {
+		pos := epoch % period
+		half := period / 2
+		if pos < half {
+			return lo + (hi-lo)*float64(pos)/float64(half)
+		}
+		return hi - (hi-lo)*float64(pos-half)/float64(period-half)
+	}
+}

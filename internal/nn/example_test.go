@@ -1,0 +1,33 @@
+package nn_test
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/prng"
+)
+
+// Building the paper's MLP III and checking its parameter count
+// against the printed Table 3 value (up to the paper's 2-scalar typo;
+// see arch.go).
+func ExampleTable3() {
+	net, err := nn.Table3("mlp2", 128, prng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net.ParamCount())
+	// Output:
+	// 150658
+}
+
+// The "three layer neural network" the paper's abstract highlights as
+// sufficient: one hidden layer.
+func ExampleMLP() {
+	net, err := nn.MLP(128, []int{128}, 2, nn.ReLU, prng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(net.Layers()), "layers,", net.ParamCount(), "parameters")
+	// Output:
+	// 3 layers, 16770 parameters
+}

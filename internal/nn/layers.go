@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// Param is one trainable tensor: a flat weight buffer and its gradient
+// accumulator of identical length.
+type Param struct {
+	Name string
+	W    []float64
+	Grad []float64
+}
+
+// ZeroGrad clears the gradient buffer.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a network. Forward consumes a
+// batch (rows = samples) and caches what Backward needs; Backward
+// consumes dL/doutput, accumulates parameter gradients and returns
+// dL/dinput. Layers are not safe for concurrent use.
+type Layer interface {
+	Name() string
+	// InDim and OutDim are the per-sample feature widths, used for
+	// build-time shape validation.
+	InDim() int
+	OutDim() int
+	Forward(x *Matrix, train bool) *Matrix
+	Backward(grad *Matrix) *Matrix
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	x       *Matrix // cached input
+}
+
+// NewDense creates a Dense layer with Glorot-uniform weights drawn from
+// r and zero biases.
+func NewDense(in, out int, r *prng.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense shape %d→%d", in, out))
+	}
+	d := &Dense{
+		In:  in,
+		Out: out,
+		w:   &Param{Name: fmt.Sprintf("dense%dx%d.W", in, out), W: make([]float64, in*out), Grad: make([]float64, in*out)},
+		b:   &Param{Name: fmt.Sprintf("dense%dx%d.b", in, out), W: make([]float64, out), Grad: make([]float64, out)},
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.w.W {
+		d.w.W[i] = (2*r.Float64() - 1) * limit
+	}
+	return d
+}
+
+// Name identifies the layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+
+// InDim returns the input feature width.
+func (d *Dense) InDim() int { return d.In }
+
+// OutDim returns the output feature width.
+func (d *Dense) OutDim() int { return d.Out }
+
+// Params returns the weight and bias tensors.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: %s got input width %d", d.Name(), x.Cols))
+	}
+	if train {
+		d.x = x
+	}
+	wm := &Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
+	out := Mul(x, wm)
+	out.AddRowVector(d.b.W)
+	return out
+}
+
+// Backward accumulates dW = xᵀ·g, db = Σ g and returns dx = g·Wᵀ.
+func (d *Dense) Backward(grad *Matrix) *Matrix {
+	if d.x == nil {
+		panic("nn: Dense.Backward before Forward(train=true)")
+	}
+	dw := MulTN(d.x, grad)
+	for i, v := range dw.Data {
+		d.w.Grad[i] += v
+	}
+	for j, v := range grad.ColSums() {
+		d.b.Grad[j] += v
+	}
+	wm := &Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
+	return MulNT(grad, wm)
+}
+
+// SetWeights overwrites the layer weights; used by tests and
+// deserialization. w must be in*out long and b out long.
+func (d *Dense) SetWeights(w, b []float64) {
+	if len(w) != d.In*d.Out || len(b) != d.Out {
+		panic("nn: SetWeights shape mismatch")
+	}
+	copy(d.w.W, w)
+	copy(d.b.W, b)
+}
+
+// Activation is an elementwise nonlinearity layer.
+type Activation struct {
+	Kind ActKind
+	Dim  int
+	x    *Matrix
+}
+
+// ActKind enumerates the supported activation functions.
+type ActKind int
+
+// Supported activations. The paper uses ReLU and LeakyReLU for MLPs,
+// tanh/sigmoid inside LSTMs.
+const (
+	ReLU ActKind = iota
+	LeakyReLU
+	Sigmoid
+	Tanh
+)
+
+// LeakyAlpha is the LeakyReLU negative-slope coefficient; 0.3 matches
+// the Keras default the paper's networks used.
+const LeakyAlpha = 0.3
+
+// NewActivation creates an activation layer for feature width dim.
+func NewActivation(kind ActKind, dim int) *Activation {
+	return &Activation{Kind: kind, Dim: dim}
+}
+
+// String names the activation kind.
+func (k ActKind) String() string {
+	switch k {
+	case ReLU:
+		return "ReLU"
+	case LeakyReLU:
+		return "LeakyReLU"
+	case Sigmoid:
+		return "Sigmoid"
+	case Tanh:
+		return "Tanh"
+	default:
+		return fmt.Sprintf("ActKind(%d)", int(k))
+	}
+}
+
+// Name identifies the layer.
+func (a *Activation) Name() string { return a.Kind.String() }
+
+// InDim returns the feature width.
+func (a *Activation) InDim() int { return a.Dim }
+
+// OutDim returns the feature width.
+func (a *Activation) OutDim() int { return a.Dim }
+
+// Params returns nil: activations are parameter-free.
+func (a *Activation) Params() []*Param { return nil }
+
+func actForward(kind ActKind, v float64) float64 {
+	switch kind {
+	case ReLU:
+		if v > 0 {
+			return v
+		}
+		return 0
+	case LeakyReLU:
+		if v > 0 {
+			return v
+		}
+		return LeakyAlpha * v
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-v))
+	case Tanh:
+		return math.Tanh(v)
+	}
+	panic("nn: unknown activation")
+}
+
+// actGrad returns dout/din given the pre-activation input v.
+func actGrad(kind ActKind, v float64) float64 {
+	switch kind {
+	case ReLU:
+		if v > 0 {
+			return 1
+		}
+		return 0
+	case LeakyReLU:
+		if v > 0 {
+			return 1
+		}
+		return LeakyAlpha
+	case Sigmoid:
+		s := 1 / (1 + math.Exp(-v))
+		return s * (1 - s)
+	case Tanh:
+		th := math.Tanh(v)
+		return 1 - th*th
+	}
+	panic("nn: unknown activation")
+}
+
+// Forward applies the nonlinearity elementwise.
+func (a *Activation) Forward(x *Matrix, train bool) *Matrix {
+	if a.Dim > 0 && x.Cols != a.Dim {
+		panic(fmt.Sprintf("nn: %s got input width %d, want %d", a.Name(), x.Cols, a.Dim))
+	}
+	if train {
+		a.x = x
+	}
+	out := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = actForward(a.Kind, v)
+	}
+	return out
+}
+
+// Backward multiplies the incoming gradient by the activation's
+// derivative at the cached input.
+func (a *Activation) Backward(grad *Matrix) *Matrix {
+	if a.x == nil {
+		panic("nn: Activation.Backward before Forward(train=true)")
+	}
+	out := NewMatrix(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		out.Data[i] = g * actGrad(a.Kind, a.x.Data[i])
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax converts logits to row-stochastic probabilities, numerically
+// stabilized by subtracting each row's maximum.
+func Softmax(logits *Matrix) *Matrix {
+	out := NewMatrix(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		orow := out.Row(i)
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropy returns the mean categorical cross-entropy of
+// probabilities against integer labels. Probabilities are clamped away
+// from zero for numerical safety.
+func CrossEntropy(probs *Matrix, labels []int) float64 {
+	if len(labels) != probs.Rows {
+		panic(fmt.Sprintf("nn: CrossEntropy got %d labels for %d rows", len(labels), probs.Rows))
+	}
+	const eps = 1e-12
+	loss := 0.0
+	for i, y := range labels {
+		if y < 0 || y >= probs.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, probs.Cols))
+		}
+		p := probs.At(i, y)
+		if p < eps {
+			p = eps
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(len(labels))
+}
+
+// SoftmaxCrossEntropyGrad returns the gradient of the mean
+// cross-entropy with respect to the logits: (softmax − onehot)/batch.
+// This fused form is the standard numerically stable backward pass for
+// a softmax output layer.
+func SoftmaxCrossEntropyGrad(probs *Matrix, labels []int) *Matrix {
+	if len(labels) != probs.Rows {
+		panic(fmt.Sprintf("nn: grad got %d labels for %d rows", len(labels), probs.Rows))
+	}
+	grad := probs.Clone()
+	inv := 1 / float64(probs.Rows)
+	for i, y := range labels {
+		grad.Data[i*grad.Cols+y] -= 1
+	}
+	grad.Scale(inv)
+	return grad
+}
+
+// Argmax returns the index of the largest value in a row vector,
+// breaking ties toward the lower index.
+func Argmax(row []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}

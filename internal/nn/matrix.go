@@ -1,0 +1,250 @@
+// Package nn is a from-scratch neural-network library sufficient to
+// reproduce the paper's classifiers: multi-layer perceptrons,
+// 1-D convolutional networks and LSTMs, trained with mini-batch Adam
+// (Kingma–Ba) or SGD against softmax cross-entropy.
+//
+// The paper used Keras/TensorFlow on a datacenter GPU; this package is
+// pure Go (stdlib only) with goroutine-parallel matrix products, which
+// is ample for the paper's 128-bit feature vectors. Architectures are
+// expressed exactly as in Table 3 — e.g. MLP III is
+// Dense(128→1024), ReLU, Dense(1024→1024), ReLU, Dense(1024→2) —
+// and parameter counts match the table analytically.
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix. Rows index samples in
+// all batch operations.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// parallelRows runs fn over row ranges [lo, hi) on up to GOMAXPROCS
+// goroutines. Small matrices run inline to avoid scheduling overhead.
+func parallelRows(rows int, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	// For tiny workloads the goroutine fan-out costs more than it saves.
+	if workers <= 1 || work < 1<<15 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Mul returns A·B. A is n×k, B is k×m.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MulTN returns Aᵀ·B. A is n×k (so Aᵀ is k×n), B is n×m.
+func MulTN(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: MulTN shape mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	// Accumulate per-worker partials to avoid write contention on out.
+	workers := runtime.GOMAXPROCS(0)
+	work := a.Rows * a.Cols * b.Cols
+	if workers <= 1 || work < 1<<15 || a.Rows < workers {
+		for n := 0; n < a.Rows; n++ {
+			arow := a.Data[n*a.Cols : (n+1)*a.Cols]
+			brow := b.Data[n*b.Cols : (n+1)*b.Cols]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	partials := make([][]float64, workers)
+	chunk := (a.Rows + workers - 1) / workers
+	w := 0
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := make([]float64, len(out.Data))
+			for n := lo; n < hi; n++ {
+				arow := a.Data[n*a.Cols : (n+1)*a.Cols]
+				brow := b.Data[n*b.Cols : (n+1)*b.Cols]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					prow := part[i*out.Cols : (i+1)*out.Cols]
+					for j, bv := range brow {
+						prow[j] += av * bv
+					}
+				}
+			}
+			partials[w] = part
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+	for _, part := range partials[:w] {
+		for i, v := range part {
+			out.Data[i] += v
+		}
+	}
+	return out
+}
+
+// MulNT returns A·Bᵀ. A is n×k, B is m×k.
+func MulNT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MulNT shape mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				out.Data[i*out.Cols+j] = s
+			}
+		}
+	})
+	return out
+}
+
+// AddRowVector adds vector v (length Cols) to every row of m in place.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("nn: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m.
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Equalish reports whether two matrices have the same shape and agree
+// elementwise within tol.
+func Equalish(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}

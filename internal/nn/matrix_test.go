@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func randMatrix(r *prng.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+// naiveMul is the reference O(n^3) triple loop.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func transpose(m *Matrix) *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	r := prng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n, k, m := 1+r.Intn(40), 1+r.Intn(40), 1+r.Intn(40)
+		a := randMatrix(r, n, k)
+		b := randMatrix(r, k, m)
+		if !Equalish(Mul(a, b), naiveMul(a, b), 1e-9) {
+			t.Fatalf("Mul mismatch at %dx%dx%d", n, k, m)
+		}
+	}
+}
+
+func TestMulLargeParallelPath(t *testing.T) {
+	// Big enough to trigger the goroutine fan-out.
+	r := prng.New(2)
+	a := randMatrix(r, 300, 64)
+	b := randMatrix(r, 64, 50)
+	if !Equalish(Mul(a, b), naiveMul(a, b), 1e-9) {
+		t.Fatal("parallel Mul disagrees with naive")
+	}
+}
+
+func TestMulTN(t *testing.T) {
+	r := prng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		n, k, m := 1+r.Intn(30), 1+r.Intn(30), 1+r.Intn(30)
+		a := randMatrix(r, n, k)
+		b := randMatrix(r, n, m)
+		want := naiveMul(transpose(a), b)
+		if !Equalish(MulTN(a, b), want, 1e-9) {
+			t.Fatalf("MulTN mismatch at %d %d %d", n, k, m)
+		}
+	}
+	// Parallel path.
+	a := randMatrix(r, 400, 32)
+	b := randMatrix(r, 400, 40)
+	if !Equalish(MulTN(a, b), naiveMul(transpose(a), b), 1e-9) {
+		t.Fatal("parallel MulTN disagrees with naive")
+	}
+}
+
+func TestMulNT(t *testing.T) {
+	r := prng.New(4)
+	for trial := 0; trial < 10; trial++ {
+		n, k, m := 1+r.Intn(30), 1+r.Intn(30), 1+r.Intn(30)
+		a := randMatrix(r, n, k)
+		b := randMatrix(r, m, k)
+		want := naiveMul(a, transpose(b))
+		if !Equalish(MulNT(a, b), want, 1e-9) {
+			t.Fatalf("MulNT mismatch at %d %d %d", n, k, m)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Mul(NewMatrix(2, 3), NewMatrix(4, 2)) },
+		func() { MulTN(NewMatrix(2, 3), NewMatrix(3, 2)) },
+		func() { MulNT(NewMatrix(2, 3), NewMatrix(2, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("shape mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(0, 1, 9)
+	if m.Row(0)[1] != 9 {
+		t.Fatal("Set/Row inconsistent")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatal("Clone is shallow")
+	}
+	if got := FromRows(nil); got.Rows != 0 {
+		t.Fatal("FromRows(nil) not empty")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows accepted")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestAddRowVectorColSumsScale(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.AddRowVector([]float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector result %v", m.Data)
+	}
+	s := m.ColSums()
+	if s[0] != 11+13 || s[1] != 22+24 {
+		t.Fatalf("ColSums = %v", s)
+	}
+	m.Scale(0.5)
+	if m.At(0, 0) != 5.5 {
+		t.Fatalf("Scale result %v", m.At(0, 0))
+	}
+}
+
+func TestEqualish(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1, 2.0000001}})
+	if !Equalish(a, b, 1e-3) {
+		t.Fatal("close matrices not equalish")
+	}
+	if Equalish(a, b, 1e-9) {
+		t.Fatal("tolerance ignored")
+	}
+	if Equalish(a, NewMatrix(2, 1), 1) {
+		t.Fatal("shape mismatch equalish")
+	}
+}
+
+func BenchmarkMul128x1024(b *testing.B) {
+	r := prng.New(1)
+	a := randMatrix(r, 128, 128)
+	w := randMatrix(r, 128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, w)
+	}
+}

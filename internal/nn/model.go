@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prng"
+)
+
+// Network is a sequential stack of layers trained against softmax
+// cross-entropy. The last layer's OutDim is the class count.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork validates that consecutive layer dimensions chain and
+// returns the stack.
+func NewNetwork(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: network needs at least one layer")
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutDim() != layers[i].InDim() {
+			return nil, fmt.Errorf("nn: layer %d (%s) outputs %d features but layer %d (%s) expects %d",
+				i-1, layers[i-1].Name(), layers[i-1].OutDim(), i, layers[i].Name(), layers[i].InDim())
+		}
+	}
+	return &Network{layers: layers}, nil
+}
+
+// Layers returns the layer stack (callers must not mutate it).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// InDim returns the expected feature width.
+func (n *Network) InDim() int { return n.layers[0].InDim() }
+
+// Classes returns the output width (number of classes).
+func (n *Network) Classes() int { return n.layers[len(n.layers)-1].OutDim() }
+
+// Params returns every trainable tensor in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of trainable scalars — the
+// "# Parameters" column of Table 3.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// Summary renders a Keras-style per-layer summary.
+func (n *Network) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Network (%d parameters)\n", n.ParamCount())
+	for i, l := range n.layers {
+		params := 0
+		for _, p := range l.Params() {
+			params += len(p.W)
+		}
+		fmt.Fprintf(&sb, "  %2d. %-28s params=%d\n", i, l.Name(), params)
+	}
+	return sb.String()
+}
+
+// Forward runs the full stack and returns logits.
+func (n *Network) Forward(x *Matrix, train bool) *Matrix {
+	for _, l := range n.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Probs returns softmax class probabilities for a batch.
+func (n *Network) Probs(x *Matrix) *Matrix {
+	return Softmax(n.Forward(x, false))
+}
+
+// Predict returns the argmax class of each row.
+func (n *Network) Predict(x *Matrix) []int {
+	logits := n.Forward(x, false)
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = Argmax(logits.Row(i))
+	}
+	return out
+}
+
+// PredictOne classifies a single feature vector.
+func (n *Network) PredictOne(x []float64) int {
+	m := FromRows([][]float64{x})
+	return n.Predict(m)[0]
+}
+
+// Evaluate returns mean accuracy and mean cross-entropy loss on a
+// labelled set.
+func (n *Network) Evaluate(x *Matrix, y []int) (acc, loss float64) {
+	probs := n.Probs(x)
+	hit := 0
+	for i := range y {
+		if Argmax(probs.Row(i)) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(y)), CrossEntropy(probs, y)
+}
+
+// FitConfig controls training.
+type FitConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Seed      uint64 // shuffling seed
+	// OnEpoch, if non-nil, is called after each epoch with the epoch
+	// index (0-based), mean training loss and training accuracy.
+	OnEpoch func(epoch int, loss, acc float64)
+	// LRSchedule, if non-nil, sets the optimizer learning rate at the
+	// start of each epoch (the optimizer must implement LRScheduler;
+	// both SGD and Adam do). See CyclicLR.
+	LRSchedule func(epoch int) float64
+}
+
+// History records per-epoch training metrics.
+type History struct {
+	Loss []float64
+	Acc  []float64
+}
+
+// Fit trains the network with mini-batch gradient descent. x rows are
+// samples, y the integer class labels.
+func (n *Network) Fit(x *Matrix, y []int, cfg FitConfig) (*History, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("nn: %d samples but %d labels", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("nn: empty training set")
+	}
+	if x.Cols != n.InDim() {
+		return nil, fmt.Errorf("nn: samples have width %d, network expects %d", x.Cols, n.InDim())
+	}
+	classes := n.Classes()
+	for i, label := range y {
+		if label < 0 || label >= classes {
+			return nil, fmt.Errorf("nn: label %d at index %d out of range [0,%d)", label, i, classes)
+		}
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("nn: epochs must be positive, got %d", cfg.Epochs)
+	}
+	bs := cfg.BatchSize
+	if bs <= 0 {
+		bs = 128
+	}
+	if bs > x.Rows {
+		bs = x.Rows
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = NewAdam(0)
+	}
+
+	r := prng.New(cfg.Seed ^ 0xfeedface)
+	params := n.Params()
+	hist := &History{}
+
+	order := make([]int, x.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	bx := NewMatrix(bs, x.Cols)
+	by := make([]int, bs)
+
+	if cfg.LRSchedule != nil {
+		if _, ok := opt.(LRScheduler); !ok {
+			return nil, fmt.Errorf("nn: optimizer %s does not support learning-rate schedules", opt.Name())
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRSchedule != nil {
+			opt.(LRScheduler).SetLR(cfg.LRSchedule(epoch))
+		}
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		totalLoss, totalHit, seen := 0.0, 0, 0
+		for start := 0; start < x.Rows; start += bs {
+			end := start + bs
+			if end > x.Rows {
+				end = x.Rows
+			}
+			m := end - start
+			batchX := bx
+			batchY := by
+			if m != bs {
+				batchX = NewMatrix(m, x.Cols)
+				batchY = make([]int, m)
+			}
+			for k := 0; k < m; k++ {
+				src := order[start+k]
+				copy(batchX.Row(k), x.Row(src))
+				batchY[k] = y[src]
+			}
+
+			logits := n.Forward(batchX, true)
+			probs := Softmax(logits)
+			loss := CrossEntropy(probs, batchY)
+			grad := SoftmaxCrossEntropyGrad(probs, batchY)
+
+			for _, p := range params {
+				p.ZeroGrad()
+			}
+			for i := len(n.layers) - 1; i >= 0; i-- {
+				grad = n.layers[i].Backward(grad)
+			}
+			opt.Step(params)
+
+			totalLoss += loss * float64(m)
+			for i := 0; i < m; i++ {
+				if Argmax(probs.Row(i)) == batchY[i] {
+					totalHit++
+				}
+			}
+			seen += m
+		}
+		epochLoss := totalLoss / float64(seen)
+		epochAcc := float64(totalHit) / float64(seen)
+		hist.Loss = append(hist.Loss, epochLoss)
+		hist.Acc = append(hist.Acc, epochAcc)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, epochLoss, epochAcc)
+		}
+	}
+	return hist, nil
+}

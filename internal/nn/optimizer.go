@@ -1,0 +1,95 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients. Step
+// consumes (and does not clear) the gradients; callers zero them per
+// batch.
+type Optimizer interface {
+	Name() string
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD constructs SGD with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float64)}
+}
+
+// Name identifies the optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i := range p.W {
+				p.W[i] -= s.LR * p.Grad[i]
+			}
+			continue
+		}
+		v := s.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.W))
+			s.vel[p] = v
+		}
+		for i := range p.W {
+			v[i] = s.Momentum*v[i] - s.LR*p.Grad[i]
+			p.W[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Kingma–Ba optimizer, the one the paper trains with.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam constructs Adam with the standard defaults (lr 0.001,
+// β1 0.9, β2 0.999, ε 1e−8) unless overridden; pass lr ≤ 0 for the
+// default rate.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		lr = 0.001
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Name identifies the optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step applies one Adam update with bias correction.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.W))
+			v = make([]float64, len(p.W))
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i := range p.W {
+			g := p.Grad[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+// Property: softmax output is a probability distribution for any
+// finite logits.
+func TestQuickSoftmaxIsDistribution(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true // skip non-finite draws
+			}
+		}
+		// Clamp magnitude so exp stays finite after the max-shift.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Softmax(FromRows([][]float64{{clamp(a), clamp(b), clamp(c)}}))
+		sum := 0.0
+		for _, v := range p.Row(0) {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax preserves the ordering of logits.
+func TestQuickSoftmaxMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		row := make([]float64, 2+r.Intn(6))
+		for i := range row {
+			row[i] = r.NormFloat64() * 3
+		}
+		p := Softmax(FromRows([][]float64{row})).Row(0)
+		for i := range row {
+			for j := range row {
+				if row[i] < row[j] && p[i] > p[j]+1e-12 {
+					return false
+				}
+			}
+		}
+		return Argmax(row) == Argmax(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Dense layer is affine — f(x+y) − f(y) is independent of
+// the bias and f(2x) − 2f(x) = −b.
+func TestQuickDenseAffine(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		d := NewDense(4, 3, r)
+		x := randMatrix(r, 1, 4)
+		two := x.Clone()
+		two.Scale(2)
+		fx := d.Forward(x, false)
+		f2x := d.Forward(two, false)
+		// f(2x) = 2(xW) + b = 2f(x) − b.
+		for j := 0; j < 3; j++ {
+			want := 2*fx.At(0, j) - d.b.W[j]
+			if math.Abs(f2x.At(0, j)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parameter counts are consistent between Params() and
+// analytic formulas for random MLP shapes.
+func TestQuickMLPParamCount(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		in := 1 + r.Intn(64)
+		h := 1 + r.Intn(64)
+		classes := 2 + r.Intn(4)
+		net, err := MLP(in, []int{h}, classes, ReLU, r)
+		if err != nil {
+			return false
+		}
+		want := in*h + h + h*classes + classes
+		return net.ParamCount() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cross-entropy is non-negative and zero only for perfect
+// one-hot predictions.
+func TestQuickCrossEntropyNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		n := 1 + r.Intn(8)
+		k := 2 + r.Intn(4)
+		logits := randMatrix(r, n, k)
+		y := make([]int, n)
+		for i := range y {
+			y[i] = r.Intn(k)
+		}
+		return CrossEntropy(Softmax(logits), y) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package salsa
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+func TestQuarterRoundSpecVector(t *testing.T) {
+	// From the Salsa20 specification:
+	// quarterround(0x00000001,0,0,0) =
+	//   (0x08008145, 0x00000080, 0x00010200, 0x20500000).
+	a, b, c, d := uint32(1), uint32(0), uint32(0), uint32(0)
+	quarterRound(&a, &b, &c, &d)
+	if a != 0x08008145 || b != 0x00000080 || c != 0x00010200 || d != 0x20500000 {
+		t.Fatalf("quarterround = %08x %08x %08x %08x", a, b, c, d)
+	}
+}
+
+func TestQuarterRoundZeroFixedPoint(t *testing.T) {
+	a, b, c, d := uint32(0), uint32(0), uint32(0), uint32(0)
+	quarterRound(&a, &b, &c, &d)
+	if a|b|c|d != 0 {
+		t.Fatal("quarterround(0,0,0,0) != 0")
+	}
+}
+
+func TestCoreZeroInputIsZero(t *testing.T) {
+	// The well-known Salsa20 core fixed point: core(0^64) = 0^64.
+	out := Core(make([]byte, StateBytes), FullRounds)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("core(0) = %x", out)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := prng.New(1)
+	var s State
+	for i := range s {
+		s[i] = r.Uint32()
+	}
+	var back State
+	back.SetBytes(s.Bytes())
+	if back != s {
+		t.Fatal("byte serialization round trip failed")
+	}
+}
+
+func TestSetBytesPanicsOnShortInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short input accepted")
+		}
+	}()
+	var s State
+	s.SetBytes(make([]byte, 63))
+}
+
+func TestPermuteValidation(t *testing.T) {
+	var s State
+	for _, n := range []int{-2, 1, 3, 21, 22} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("round count %d accepted", n)
+				}
+			}()
+			Permute(&s, n)
+		}()
+	}
+	Permute(&s, 0) // identity is fine
+}
+
+func TestZeroRoundsIdentity(t *testing.T) {
+	r := prng.New(2)
+	in := r.Bytes(StateBytes)
+	var s State
+	s.SetBytes(in)
+	Permute(&s, 0)
+	if !bits.Equal(s.Bytes(), in) {
+		t.Fatal("0 rounds changed the state")
+	}
+}
+
+func TestCoreDeterministicAndInputSensitive(t *testing.T) {
+	r := prng.New(3)
+	in := r.Bytes(StateBytes)
+	a := Core(in, FullRounds)
+	b := Core(in, FullRounds)
+	if !bits.Equal(a, b) {
+		t.Fatal("core not deterministic")
+	}
+	in[17] ^= 1
+	c := Core(in, FullRounds)
+	if bits.Equal(a, c) {
+		t.Fatal("single-bit change invisible")
+	}
+}
+
+func TestFullRoundAvalanche(t *testing.T) {
+	r := prng.New(4)
+	total := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		in := r.Bytes(StateBytes)
+		a := Core(in, FullRounds)
+		in[r.Intn(StateBytes)] ^= 1 << uint(r.Intn(8))
+		b := Core(in, FullRounds)
+		total += bits.HammingDistance(a, b)
+	}
+	mean := float64(total) / trials
+	if mean < 220 || mean > 292 { // 512 bits, expect ≈ 256
+		t.Fatalf("avalanche mean %.1f outside [220, 292]", mean)
+	}
+}
+
+func TestLowRoundBias(t *testing.T) {
+	// Two rounds do not achieve full diffusion: a single-bit input
+	// difference leaves the difference weight well below half the
+	// state. This is the non-Markov analysis surface of §2.1.
+	r := prng.New(5)
+	total := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		in := r.Bytes(StateBytes)
+		a := Core(in, 2)
+		in2 := append([]byte(nil), in...)
+		in2[0] ^= 1
+		b := Core(in2, 2)
+		total += bits.HammingDistance(a, b)
+	}
+	mean := float64(total) / trials
+	if mean > 180 {
+		t.Fatalf("2-round diffusion unexpectedly strong: mean weight %.1f", mean)
+	}
+}
+
+func BenchmarkCore20(b *testing.B) {
+	in := make([]byte, StateBytes)
+	b.SetBytes(StateBytes)
+	for i := 0; i < b.N; i++ {
+		Core(in, FullRounds)
+	}
+}

@@ -1,0 +1,196 @@
+package speck
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+// TestKnownAnswer checks the SPECK-32/64 test vector from the design
+// document (Beaulieu et al., ePrint 2013/404): key 1918 1110 0908 0100,
+// plaintext 6574 694c, ciphertext a868 42f2.
+func TestKnownAnswer(t *testing.T) {
+	c := New([4]uint16{0x1918, 0x1110, 0x0908, 0x0100})
+	got := c.Encrypt(Block{X: 0x6574, Y: 0x694c})
+	want := Block{X: 0xa868, Y: 0x42f2}
+	if got != want {
+		t.Fatalf("Encrypt = %04x %04x, want %04x %04x", got.X, got.Y, want.X, want.Y)
+	}
+}
+
+func TestNewFromBytesMatchesWordKey(t *testing.T) {
+	c1 := New([4]uint16{0x1918, 0x1110, 0x0908, 0x0100})
+	c2, err := NewFromBytes([]byte{0x19, 0x18, 0x11, 0x10, 0x09, 0x08, 0x01, 0x00})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Block{X: 0x1234, Y: 0x5678}
+	if c1.Encrypt(b) != c2.Encrypt(b) {
+		t.Fatal("byte-key and word-key ciphers disagree")
+	}
+}
+
+func TestNewFromBytesValidation(t *testing.T) {
+	if _, err := NewFromBytes(make([]byte, 7)); err == nil {
+		t.Fatal("7-byte key accepted")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(k0, k1, k2, k3, x, y uint16) bool {
+		c := New([4]uint16{k0, k1, k2, k3})
+		b := Block{X: x, Y: y}
+		return c.Decrypt(c.Encrypt(b)) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundReducedRoundTrip(t *testing.T) {
+	r := prng.New(1)
+	c := New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	for n := 0; n <= Rounds; n++ {
+		b := Block{X: r.Uint16(), Y: r.Uint16()}
+		if got := c.DecryptRounds(c.EncryptRounds(b, n), n); got != b {
+			t.Fatalf("round trip failed at %d rounds", n)
+		}
+	}
+}
+
+func TestZeroRoundsIdentity(t *testing.T) {
+	c := New([4]uint16{1, 2, 3, 4})
+	b := Block{X: 0xdead, Y: 0xbeef}
+	if c.EncryptRounds(b, 0) != b {
+		t.Fatal("0-round encryption changed the block")
+	}
+}
+
+func TestRoundCountValidation(t *testing.T) {
+	c := New([4]uint16{1, 2, 3, 4})
+	for _, n := range []int{-1, 23} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncryptRounds(%d) accepted", n)
+				}
+			}()
+			c.EncryptRounds(Block{}, n)
+		}()
+	}
+}
+
+func TestEncryptionIsBijectivePerKey(t *testing.T) {
+	// Sampled injectivity: no collisions among 10k random plaintexts.
+	r := prng.New(2)
+	c := New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	seen := map[Block]Block{}
+	for i := 0; i < 10000; i++ {
+		p := Block{X: r.Uint16(), Y: r.Uint16()}
+		ct := c.Encrypt(p)
+		if prev, ok := seen[ct]; ok && prev != p {
+			t.Fatalf("collision: %v and %v both encrypt to %v", prev, p, ct)
+		}
+		seen[ct] = p
+	}
+}
+
+func TestKeyDependence(t *testing.T) {
+	b := Block{X: 0x0102, Y: 0x0304}
+	c1 := New([4]uint16{0, 0, 0, 0})
+	c2 := New([4]uint16{0, 0, 0, 1})
+	if c1.Encrypt(b) == c2.Encrypt(b) {
+		t.Fatal("single-bit key change did not change the ciphertext")
+	}
+}
+
+func TestBlockBytesRoundTrip(t *testing.T) {
+	f := func(x, y uint16) bool {
+		b := Block{X: x, Y: y}
+		return BlockFromBytes(b.Bytes()) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORDifference(t *testing.T) {
+	a := Block{X: 0xff00, Y: 0x00ff}
+	b := Block{X: 0x0ff0, Y: 0x0ff0}
+	d := a.XOR(b)
+	if d.X != 0xf0f0 || d.Y != 0x0f0f {
+		t.Fatalf("XOR = %04x %04x", d.X, d.Y)
+	}
+}
+
+// TestGohrDeltaFirstRoundDeterministic verifies the property that makes
+// (0x0040, 0) Gohr's difference of choice: it passes the first round
+// with probability 1 (the difference sits in the bit position where the
+// modular addition cannot produce a carry into the difference).
+func TestGohrDeltaFirstRoundDeterministic(t *testing.T) {
+	r := prng.New(3)
+	c := New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	var first Block
+	for i := 0; i < 1000; i++ {
+		p := Block{X: r.Uint16(), Y: r.Uint16()}
+		d := c.EncryptRounds(p, 1).XOR(c.EncryptRounds(p.XOR(GohrDelta), 1))
+		if i == 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("1-round difference not deterministic: %v vs %v", d, first)
+		}
+	}
+}
+
+// TestLowRoundNonRandomness: at 3 rounds the output difference under
+// GohrDelta is visibly non-uniform (few distinct values over many
+// samples), which is what the neural distinguisher exploits.
+func TestLowRoundNonRandomness(t *testing.T) {
+	r := prng.New(4)
+	c := New([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	distinct := map[Block]bool{}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		p := Block{X: r.Uint16(), Y: r.Uint16()}
+		distinct[c.EncryptRounds(p, 3).XOR(c.EncryptRounds(p.XOR(GohrDelta), 3))] = true
+	}
+	if len(distinct) > n/4 {
+		t.Fatalf("3-round differences look too uniform: %d distinct of %d", len(distinct), n)
+	}
+}
+
+func TestKeyScheduleMatchesManualExpansion(t *testing.T) {
+	// Independently expand two steps of the schedule by hand.
+	key := [4]uint16{0x1918, 0x1110, 0x0908, 0x0100}
+	c := New(key)
+	if c.RoundKey(0) != 0x0100 {
+		t.Fatalf("rk[0] = %04x, want k0 = 0100", c.RoundKey(0))
+	}
+	// l[3] = (k0 + ROTR(l0,7)) ^ 0 with l0 = 0x0908.
+	l0 := uint16(0x0908)
+	k0 := uint16(0x0100)
+	l3 := (k0 + (l0>>7 | l0<<9)) ^ 0
+	want1 := (k0<<2 | k0>>14) ^ l3
+	if c.RoundKey(1) != want1 {
+		t.Fatalf("rk[1] = %04x, want %04x", c.RoundKey(1), want1)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := New([4]uint16{1, 2, 3, 4})
+	blk := Block{X: 0x6574, Y: 0x694c}
+	for i := 0; i < b.N; i++ {
+		blk = c.Encrypt(blk)
+	}
+	_ = blk
+}
+
+func BenchmarkEncrypt7Rounds(b *testing.B) {
+	c := New([4]uint16{1, 2, 3, 4})
+	blk := Block{X: 0x6574, Y: 0x694c}
+	for i := 0; i < b.N; i++ {
+		blk = c.EncryptRounds(blk, 7)
+	}
+	_ = blk
+}

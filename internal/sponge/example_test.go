@@ -1,0 +1,39 @@
+package sponge_test
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/sponge"
+)
+
+// The one-shot hash of a short message. This output also serves as the
+// repository's pinned GIMLI-HASH value (official KATs are unavailable
+// offline; see DESIGN.md for the cross-validation strategy).
+func ExampleSum256() {
+	d := sponge.Sum256([]byte("gimli"))
+	fmt.Println(bits.Hex(d[:]))
+	// Output:
+	// a0d2977e23a8567ee164a572a811fddb542dacdbc460082dac347baf8ef3e1dd
+}
+
+// Streaming use via the io.Writer-style interface.
+func ExampleHasher() {
+	h := sponge.New()
+	h.Write([]byte("gim"))
+	h.Write([]byte("li"))
+	fmt.Println(bits.Hex(h.Sum(nil)))
+	// Output:
+	// a0d2977e23a8567ee164a572a811fddb542dacdbc460082dac347baf8ef3e1dd
+}
+
+// The round-reduced observable of the paper's Section 4 hash
+// distinguisher: the 128-bit rate after absorbing one padded block
+// through 8 rounds.
+func ExampleRateAfterAbsorb() {
+	msg := make([]byte, 15)
+	rate := sponge.RateAfterAbsorb(msg, 8)
+	fmt.Println(len(rate)*8, "bits observed")
+	// Output:
+	// 128 bits observed
+}

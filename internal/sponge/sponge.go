@@ -1,0 +1,147 @@
+// Package sponge implements the sponge construction over the GIMLI
+// permutation and, on top of it, GIMLI-HASH as specified in the NIST
+// LWC submission (Figure 2 of the paper).
+//
+// The rate is 16 bytes (the top row of the state). Message blocks are
+// XORed into the rate and interleaved with permutation calls; the final
+// block carries the multi-rate padding (a 0x01 byte after the message)
+// plus the domain-separation bit (0x01 XORed into the last byte of the
+// state). The 256-bit digest is squeezed as two 16-byte rate outputs
+// with a permutation in between.
+//
+// All permutation calls take a configurable round count so the
+// round-reduced variants analyzed by the paper are first-class: the
+// distinguisher of Section 4 targets NewHash(r) for r ∈ {6,7,8}.
+package sponge
+
+import (
+	"fmt"
+
+	"repro/internal/gimli"
+)
+
+// Rate is the sponge rate in bytes (128 bits).
+const Rate = 16
+
+// DigestSize is the GIMLI-HASH output length in bytes (256 bits).
+const DigestSize = 32
+
+// Hasher is a streaming GIMLI-HASH computation. The zero value is not
+// usable; construct with NewHash or New.
+type Hasher struct {
+	state  gimli.State
+	buf    [Rate]byte
+	n      int // bytes buffered in buf
+	rounds int
+	done   bool
+}
+
+// New returns a full-round (24) GIMLI-HASH instance.
+func New() *Hasher { return NewHash(gimli.FullRounds) }
+
+// NewHash returns a GIMLI-HASH instance whose every permutation call is
+// reduced to the given number of rounds. rounds must be in [1, 24];
+// rounds = 24 is the real hash.
+func NewHash(rounds int) *Hasher {
+	if rounds < 1 || rounds > gimli.FullRounds {
+		panic(fmt.Sprintf("sponge: invalid round count %d", rounds))
+	}
+	return &Hasher{rounds: rounds}
+}
+
+// Reset returns the hasher to its initial state, keeping the configured
+// round count.
+func (h *Hasher) Reset() {
+	h.state = gimli.State{}
+	h.buf = [Rate]byte{}
+	h.n = 0
+	h.done = false
+}
+
+// Write absorbs p into the sponge. It never fails; the error return
+// satisfies io.Writer. Write panics if called after Sum.
+func (h *Hasher) Write(p []byte) (int, error) {
+	if h.done {
+		panic("sponge: Write after Sum")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		c := copy(h.buf[h.n:], p)
+		h.n += c
+		p = p[c:]
+		if h.n == Rate {
+			h.state.XORBytes(h.buf[:])
+			gimli.PermuteRounds(&h.state, h.rounds)
+			h.n = 0
+		}
+	}
+	return total, nil
+}
+
+// Sum finalizes the hash and appends the 32-byte digest to b. The
+// hasher cannot be written to afterwards (call Reset to reuse it).
+// Unlike standard-library hashes, Sum may only be called once because
+// the sponge state is consumed by the final padding; this keeps the
+// implementation honest about the underlying construction.
+func (h *Hasher) Sum(b []byte) []byte {
+	if h.done {
+		panic("sponge: Sum called twice")
+	}
+	h.done = true
+	// Final (partial, possibly empty) block with multi-rate padding and
+	// domain separation.
+	h.state.XORBytes(h.buf[:h.n])
+	h.state.XORByte(h.n, 0x01)
+	h.state.XORByte(gimli.StateBytes-1, 0x01)
+	gimli.PermuteRounds(&h.state, h.rounds)
+
+	out := make([]byte, DigestSize)
+	copy(out[:Rate], h.state.Bytes()[:Rate])
+	gimli.PermuteRounds(&h.state, h.rounds)
+	copy(out[Rate:], h.state.Bytes()[:Rate])
+	return append(b, out...)
+}
+
+// Size returns the digest length in bytes.
+func (h *Hasher) Size() int { return DigestSize }
+
+// BlockSize returns the sponge rate in bytes.
+func (h *Hasher) BlockSize() int { return Rate }
+
+// Rounds returns the configured per-permutation round count.
+func (h *Hasher) Rounds() int { return h.rounds }
+
+// Sum256 computes the full-round GIMLI-HASH of msg.
+func Sum256(msg []byte) [DigestSize]byte {
+	return SumRounds(msg, gimli.FullRounds)
+}
+
+// SumRounds computes the round-reduced GIMLI-HASH of msg with the given
+// per-permutation round count.
+func SumRounds(msg []byte, rounds int) [DigestSize]byte {
+	h := NewHash(rounds)
+	h.Write(msg)
+	var out [DigestSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// RateAfterAbsorb runs the absorb phase on a single-block message and
+// returns the 128-bit rate part of the state after the (round-reduced)
+// final permutation — exactly the value "h" observed by the paper's
+// GIMLI-HASH distinguisher (Section 4: the first 128 bits of the
+// digest of a one-block message). msg must be at most Rate−1 bytes so
+// that message and padding fit a single block.
+func RateAfterAbsorb(msg []byte, rounds int) [Rate]byte {
+	if len(msg) >= Rate {
+		panic("sponge: RateAfterAbsorb requires a single-block message (≤ 15 bytes)")
+	}
+	var s gimli.State
+	s.XORBytes(msg)
+	s.XORByte(len(msg), 0x01)
+	s.XORByte(gimli.StateBytes-1, 0x01)
+	gimli.PermuteRounds(&s, rounds)
+	var out [Rate]byte
+	copy(out[:], s.Bytes()[:Rate])
+	return out
+}

@@ -1,0 +1,269 @@
+package sponge
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/gimli"
+	"repro/internal/prng"
+)
+
+func TestStreamingMatchesOneShot(t *testing.T) {
+	r := prng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		msg := r.Bytes(r.Intn(100))
+		want := Sum256(msg)
+
+		h := New()
+		// Write in random-sized chunks.
+		rest := msg
+		for len(rest) > 0 {
+			n := 1 + r.Intn(len(rest))
+			h.Write(rest[:n])
+			rest = rest[n:]
+		}
+		got := h.Sum(nil)
+		if !bits.Equal(got, want[:]) {
+			t.Fatalf("streaming digest differs for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	d1 := Sum256(nil)
+	d2 := Sum256([]byte{})
+	if d1 != d2 {
+		t.Fatal("nil and empty messages hash differently")
+	}
+	// The empty digest must be stable across calls.
+	if d1 != Sum256(nil) {
+		t.Fatal("hash is not deterministic")
+	}
+}
+
+func TestDifferentMessagesDifferentDigests(t *testing.T) {
+	r := prng.New(2)
+	seen := map[[DigestSize]byte][]byte{}
+	for i := 0; i < 200; i++ {
+		msg := r.Bytes(r.Intn(64))
+		d := Sum256(msg)
+		if prev, ok := seen[d]; ok && !bits.Equal(prev, msg) {
+			t.Fatalf("collision between %x and %x", prev, msg)
+		}
+		seen[d] = msg
+	}
+}
+
+func TestPaddingDistinguishesTrailingZeros(t *testing.T) {
+	// Multi-rate padding must separate m and m||0x00.
+	a := Sum256([]byte{1, 2, 3})
+	b := Sum256([]byte{1, 2, 3, 0})
+	if a == b {
+		t.Fatal("padding failed to separate trailing-zero message")
+	}
+	// And the block boundary: 15 vs 16 vs 17 bytes.
+	m15 := make([]byte, 15)
+	m16 := make([]byte, 16)
+	m17 := make([]byte, 17)
+	d15, d16, d17 := Sum256(m15), Sum256(m16), Sum256(m17)
+	if d15 == d16 || d16 == d17 || d15 == d17 {
+		t.Fatal("block-boundary messages collide")
+	}
+}
+
+func TestBlockBoundaryStreaming(t *testing.T) {
+	// Exactly-one-block and exactly-two-block messages via both paths.
+	for _, n := range []int{15, 16, 17, 31, 32, 33, 48} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		want := Sum256(msg)
+		h := New()
+		for i := range msg {
+			h.Write(msg[i : i+1])
+		}
+		if got := h.Sum(nil); !bits.Equal(got, want[:]) {
+			t.Fatalf("byte-at-a-time digest differs at n=%d", n)
+		}
+	}
+}
+
+func TestRoundsAffectDigest(t *testing.T) {
+	msg := []byte("gimli")
+	full := SumRounds(msg, 24)
+	red := SumRounds(msg, 8)
+	if full == red {
+		t.Fatal("8-round and 24-round digests collide")
+	}
+}
+
+func TestNewHashValidation(t *testing.T) {
+	for _, rounds := range []int{0, -1, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHash(%d) accepted", rounds)
+				}
+			}()
+			NewHash(rounds)
+		}()
+	}
+}
+
+func TestSumTwicePanics(t *testing.T) {
+	h := New()
+	h.Write([]byte("x"))
+	h.Sum(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Sum did not panic")
+		}
+	}()
+	h.Sum(nil)
+}
+
+func TestWriteAfterSumPanics(t *testing.T) {
+	h := New()
+	h.Sum(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write after Sum did not panic")
+		}
+	}()
+	h.Write([]byte("x"))
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Write([]byte("abc"))
+	h.Sum(nil)
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := Sum256([]byte("abc"))
+	if !bits.Equal(got, want[:]) {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	h := New()
+	h.Write([]byte("abc"))
+	prefix := []byte{0xde, 0xad}
+	out := h.Sum(prefix)
+	if len(out) != 2+DigestSize {
+		t.Fatalf("Sum output length %d", len(out))
+	}
+	if out[0] != 0xde || out[1] != 0xad {
+		t.Fatal("Sum clobbered the prefix")
+	}
+}
+
+func TestHashInterfaceSizes(t *testing.T) {
+	h := New()
+	if h.Size() != 32 || h.BlockSize() != 16 || h.Rounds() != 24 {
+		t.Fatalf("Size/BlockSize/Rounds = %d/%d/%d", h.Size(), h.BlockSize(), h.Rounds())
+	}
+}
+
+func TestRateAfterAbsorbMatchesDigestPrefix(t *testing.T) {
+	// For a single-block message, RateAfterAbsorb must equal the first
+	// 16 bytes of the digest at the same round count.
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		msg := r.Bytes(r.Intn(Rate)) // 0..15 bytes
+		rounds := 1 + r.Intn(24)
+		rate := RateAfterAbsorb(msg, rounds)
+		d := SumRounds(msg, rounds)
+		return bits.Equal(rate[:], d[:Rate])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateAfterAbsorbRejectsFullBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("16-byte message accepted by RateAfterAbsorb")
+		}
+	}()
+	RateAfterAbsorb(make([]byte, Rate), 8)
+}
+
+func TestPaperScenarioByteFlipChangesRate(t *testing.T) {
+	// The Section 4 setup: two messages differing in byte 4 (or 12) of
+	// a single block must produce different rates after 8 rounds.
+	msg := make([]byte, 15)
+	a := RateAfterAbsorb(msg, 8)
+	msg[4] ^= 1
+	b := RateAfterAbsorb(msg, 8)
+	if a == b {
+		t.Fatal("byte-4 flip invisible in 8-round rate")
+	}
+	msg[4] ^= 1
+	msg[12] ^= 1
+	c := RateAfterAbsorb(msg, 8)
+	if a == c || b == c {
+		t.Fatal("byte-12 flip collides")
+	}
+}
+
+func TestDigestBitsLookBalancedFullRounds(t *testing.T) {
+	// Negative control for the distinguisher: at full rounds, digest
+	// bits of random messages should be balanced.
+	r := prng.New(3)
+	const trials = 2000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		d := Sum256(r.Bytes(12))
+		ones += bits.PopCount(d[:])
+	}
+	totalBits := trials * DigestSize * 8
+	frac := float64(ones) / float64(totalBits)
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("digest bit fraction %.4f outside [0.49, 0.51]", frac)
+	}
+}
+
+func TestInternalStateMatchesManualSponge(t *testing.T) {
+	// Independent re-derivation of the construction for a two-block
+	// message, byte for byte.
+	msg := make([]byte, 20)
+	for i := range msg {
+		msg[i] = byte(i + 1)
+	}
+	var s gimli.State
+	s.XORBytes(msg[:16])
+	gimli.Permute(&s)
+	s.XORBytes(msg[16:])
+	s.XORByte(4, 0x01) // padding right after the 4 remaining bytes
+	s.XORByte(47, 0x01)
+	gimli.Permute(&s)
+	want := make([]byte, 32)
+	copy(want[:16], s.Bytes()[:16])
+	gimli.Permute(&s)
+	copy(want[16:], s.Bytes()[:16])
+
+	got := Sum256(msg)
+	if !bits.Equal(got[:], want) {
+		t.Fatalf("manual sponge disagrees:\n got %x\nwant %x", got, want)
+	}
+}
+
+func BenchmarkSum256_64B(b *testing.B) {
+	msg := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum256(msg)
+	}
+}
+
+func BenchmarkRateAfterAbsorb8Rounds(b *testing.B) {
+	msg := make([]byte, 15)
+	for i := 0; i < b.N; i++ {
+		RateAfterAbsorb(msg, 8)
+	}
+}

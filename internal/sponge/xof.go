@@ -1,0 +1,84 @@
+package sponge
+
+import (
+	"fmt"
+
+	"repro/internal/gimli"
+)
+
+// XOF is the arbitrary-output-length mode of GIMLI-HASH: the NIST LWC
+// submission specifies the digest as the prefix of an unbounded
+// squeeze stream, of which Sum256 returns the first 32 bytes. An XOF
+// absorbs like the Hasher and then serves any number of output bytes
+// through Read.
+type XOF struct {
+	h         *Hasher
+	squeezing bool
+	buf       [Rate]byte
+	avail     int // unread bytes remaining in buf
+}
+
+// NewXOF returns a full-round GIMLI XOF.
+func NewXOF() *XOF { return NewXOFRounds(gimli.FullRounds) }
+
+// NewXOFRounds returns a round-reduced XOF (rounds in [1, 24]).
+func NewXOFRounds(rounds int) *XOF {
+	return &XOF{h: NewHash(rounds)}
+}
+
+// Write absorbs p. It panics if called after Read has started
+// squeezing (the sponge cannot resume absorbing).
+func (x *XOF) Write(p []byte) (int, error) {
+	if x.squeezing {
+		panic("sponge: XOF Write after Read")
+	}
+	return x.h.Write(p)
+}
+
+// Read squeezes len(p) output bytes. It always fills p and returns
+// len(p), nil; the stream is unbounded.
+func (x *XOF) Read(p []byte) (int, error) {
+	if !x.squeezing {
+		// Finalize the absorb phase exactly like Sum: pad, domain
+		// separate, permute.
+		x.h.done = true
+		x.h.state.XORBytes(x.h.buf[:x.h.n])
+		x.h.state.XORByte(x.h.n, 0x01)
+		x.h.state.XORByte(gimli.StateBytes-1, 0x01)
+		gimli.PermuteRounds(&x.h.state, x.h.rounds)
+		copy(x.buf[:], x.h.state.Bytes()[:Rate])
+		x.avail = Rate
+		x.squeezing = true
+	}
+	total := len(p)
+	for len(p) > 0 {
+		if x.avail == 0 {
+			gimli.PermuteRounds(&x.h.state, x.h.rounds)
+			copy(x.buf[:], x.h.state.Bytes()[:Rate])
+			x.avail = Rate
+		}
+		n := copy(p, x.buf[Rate-x.avail:])
+		x.avail -= n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Reset returns the XOF to its initial (absorbing) state.
+func (x *XOF) Reset() {
+	x.h.Reset()
+	x.squeezing = false
+	x.avail = 0
+}
+
+// SumXOF computes n output bytes of the full-round GIMLI XOF of msg.
+func SumXOF(msg []byte, n int) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("sponge: negative XOF length %d", n))
+	}
+	x := NewXOF()
+	x.Write(msg)
+	out := make([]byte, n)
+	x.Read(out)
+	return out
+}

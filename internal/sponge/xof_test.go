@@ -1,0 +1,110 @@
+package sponge
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+func TestXOFPrefixIsSum256(t *testing.T) {
+	// The 32-byte digest is by construction the XOF's first 32 bytes.
+	for _, msg := range [][]byte{nil, []byte("gimli"), make([]byte, 40)} {
+		want := Sum256(msg)
+		got := SumXOF(msg, 32)
+		if !bits.Equal(got, want[:]) {
+			t.Fatalf("XOF prefix differs from Sum256 for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestXOFStreamPrefixConsistency(t *testing.T) {
+	// Reading N bytes then M more equals reading N+M at once.
+	r := prng.New(1)
+	msg := r.Bytes(37)
+	all := SumXOF(msg, 200)
+
+	x := NewXOF()
+	x.Write(msg)
+	part1 := make([]byte, 63)
+	part2 := make([]byte, 137)
+	x.Read(part1)
+	x.Read(part2)
+	if !bits.Equal(append(part1, part2...), all) {
+		t.Fatal("chunked XOF reads disagree with one-shot read")
+	}
+}
+
+func TestXOFReadSizes(t *testing.T) {
+	// Byte-at-a-time reads equal bulk reads across rate boundaries.
+	msg := []byte("stream me")
+	bulk := SumXOF(msg, 50)
+	x := NewXOF()
+	x.Write(msg)
+	one := make([]byte, 1)
+	for i := 0; i < 50; i++ {
+		n, err := x.Read(one)
+		if n != 1 || err != nil {
+			t.Fatalf("Read returned %d, %v", n, err)
+		}
+		if one[0] != bulk[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func TestXOFWriteAfterReadPanics(t *testing.T) {
+	x := NewXOF()
+	x.Read(make([]byte, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write after Read did not panic")
+		}
+	}()
+	x.Write([]byte("late"))
+}
+
+func TestXOFReset(t *testing.T) {
+	x := NewXOF()
+	x.Write([]byte("a"))
+	x.Read(make([]byte, 16))
+	x.Reset()
+	x.Write([]byte("a"))
+	out := make([]byte, 16)
+	x.Read(out)
+	if !bits.Equal(out, SumXOF([]byte("a"), 16)) {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}
+
+func TestXOFOutputsDiffer(t *testing.T) {
+	a := SumXOF([]byte("a"), 64)
+	b := SumXOF([]byte("b"), 64)
+	if bits.Equal(a, b) {
+		t.Fatal("different messages gave identical XOF output")
+	}
+	// And the stream must not be periodic at the rate boundary.
+	if bits.Equal(a[:16], a[16:32]) {
+		t.Fatal("XOF stream repeats at the rate boundary")
+	}
+}
+
+func TestXOFRoundReduced(t *testing.T) {
+	a := SumXOF([]byte("x"), 32)
+	x := NewXOFRounds(8)
+	x.Write([]byte("x"))
+	red := make([]byte, 32)
+	x.Read(red)
+	if bits.Equal(a, red) {
+		t.Fatal("round-reduced XOF equals full-round XOF")
+	}
+}
+
+func TestSumXOFNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative length accepted")
+		}
+	}()
+	SumXOF(nil, -1)
+}

@@ -1,0 +1,36 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Section 3.1's expectation: classifying random data among t classes
+// succeeds with probability E/t.
+func ExampleExpectedRandomAccuracy() {
+	for _, t := range []int{2, 32} {
+		e, err := stats.ExpectedRandomAccuracy(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("t=%d: %.5f\n", t, e)
+	}
+	// Output:
+	// t=2: 0.50000
+	// t=32: 0.03125
+}
+
+// The online decision rule of Algorithm 2.
+func ExampleDecide() {
+	verdict, err := stats.Decide(0.95, 2, 0.94, 1000, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(verdict)
+	verdict, _ = stats.Decide(0.95, 2, 0.50, 1000, 3)
+	fmt.Println(verdict)
+	// Output:
+	// CIPHER
+	// RANDOM
+}

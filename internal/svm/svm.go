@@ -1,0 +1,291 @@
+// Package svm provides non-neural classifiers for the distinguisher:
+// a linear multi-class support vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm, and multinomial logistic
+// regression. The paper's conclusion suggests an SVM can replace the
+// neural network because the distinguisher only needs *a* classifier
+// whose accuracy exceeds 1/t; these models make that concrete and give
+// the repository a cheap ablation axis.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// LinearSVM is a one-vs-rest linear SVM with hinge loss and L2
+// regularization, trained by Pegasos (Shalev-Shwartz et al.).
+type LinearSVM struct {
+	Classes, Dim int
+	Lambda       float64 // regularization strength
+	Epochs       int
+	Seed         uint64
+
+	w [][]float64 // per class: Dim weights + bias at index Dim
+}
+
+// NewLinearSVM constructs an untrained SVM. lambda ≤ 0 selects the
+// default 1e-4; epochs ≤ 0 selects 5.
+func NewLinearSVM(dim, classes int, lambda float64, epochs int, seed uint64) (*LinearSVM, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("svm: invalid feature dim %d", dim)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("svm: need ≥ 2 classes, got %d", classes)
+	}
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	if epochs <= 0 {
+		epochs = 5
+	}
+	return &LinearSVM{Classes: classes, Dim: dim, Lambda: lambda, Epochs: epochs, Seed: seed}, nil
+}
+
+// Fit trains one-vs-rest hinge-loss classifiers with the Pegasos
+// schedule η_t = 1/(λt).
+func (s *LinearSVM) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("svm: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	for i, row := range x {
+		if len(row) != s.Dim {
+			return fmt.Errorf("svm: sample %d has %d features, want %d", i, len(row), s.Dim)
+		}
+		if y[i] < 0 || y[i] >= s.Classes {
+			return fmt.Errorf("svm: label %d at index %d out of range", y[i], i)
+		}
+	}
+	s.w = make([][]float64, s.Classes)
+	for c := range s.w {
+		s.w[c] = make([]float64, s.Dim+1)
+	}
+	r := prng.New(s.Seed ^ 0x5f3759df)
+	t := 1
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		order := r.Perm(len(x))
+		for _, idx := range order {
+			eta := 1 / (s.Lambda * float64(t))
+			t++
+			xi := x[idx]
+			for c := 0; c < s.Classes; c++ {
+				target := -1.0
+				if y[idx] == c {
+					target = 1.0
+				}
+				w := s.w[c]
+				margin := w[s.Dim]
+				for j, v := range xi {
+					margin += w[j] * v
+				}
+				margin *= target
+				// L2 shrinkage on the weights (not the bias).
+				shrink := 1 - eta*s.Lambda
+				if shrink < 0 {
+					shrink = 0
+				}
+				for j := 0; j < s.Dim; j++ {
+					w[j] *= shrink
+				}
+				if margin < 1 {
+					for j, v := range xi {
+						w[j] += eta * target * v
+					}
+					w[s.Dim] += eta * target
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Score returns the per-class decision values for one sample.
+func (s *LinearSVM) Score(x []float64) ([]float64, error) {
+	if s.w == nil {
+		return nil, fmt.Errorf("svm: model not trained")
+	}
+	if len(x) != s.Dim {
+		return nil, fmt.Errorf("svm: sample has %d features, want %d", len(x), s.Dim)
+	}
+	out := make([]float64, s.Classes)
+	for c, w := range s.w {
+		v := w[s.Dim]
+		for j, xv := range x {
+			v += w[j] * xv
+		}
+		out[c] = v
+	}
+	return out, nil
+}
+
+// Predict returns the class with the highest decision value. It panics
+// if the model is untrained (Fit reported an error or was never
+// called); use Score for a checked variant.
+func (s *LinearSVM) Predict(x []float64) int {
+	scores, err := s.Score(x)
+	if err != nil {
+		panic(err)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range scores {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Name identifies the classifier.
+func (s *LinearSVM) Name() string { return "linear-svm" }
+
+// Logistic is multinomial logistic regression trained by mini-batch
+// gradient descent — the smallest possible "three layer" (input,
+// linear, softmax) model in the paper's counting.
+type Logistic struct {
+	Classes, Dim int
+	LR           float64
+	Epochs       int
+	Batch        int
+	Seed         uint64
+
+	w [][]float64 // per class: Dim weights + bias
+}
+
+// NewLogistic constructs an untrained logistic-regression model.
+// Non-positive lr, epochs or batch select defaults (0.1, 5, 64).
+func NewLogistic(dim, classes int, lr float64, epochs, batch int, seed uint64) (*Logistic, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("svm: invalid feature dim %d", dim)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("svm: need ≥ 2 classes, got %d", classes)
+	}
+	if lr <= 0 {
+		lr = 0.1
+	}
+	if epochs <= 0 {
+		epochs = 5
+	}
+	if batch <= 0 {
+		batch = 64
+	}
+	return &Logistic{Classes: classes, Dim: dim, LR: lr, Epochs: epochs, Batch: batch, Seed: seed}, nil
+}
+
+// Fit trains by mini-batch gradient descent on the softmax
+// cross-entropy.
+func (l *Logistic) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("svm: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	for i, row := range x {
+		if len(row) != l.Dim {
+			return fmt.Errorf("svm: sample %d has %d features, want %d", i, len(row), l.Dim)
+		}
+		if y[i] < 0 || y[i] >= l.Classes {
+			return fmt.Errorf("svm: label %d at index %d out of range", y[i], i)
+		}
+	}
+	l.w = make([][]float64, l.Classes)
+	for c := range l.w {
+		l.w[c] = make([]float64, l.Dim+1)
+	}
+	r := prng.New(l.Seed ^ 0x2545f491)
+	probs := make([]float64, l.Classes)
+	for epoch := 0; epoch < l.Epochs; epoch++ {
+		order := r.Perm(len(x))
+		for start := 0; start < len(order); start += l.Batch {
+			end := start + l.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			// Accumulate batch gradient.
+			grad := make([][]float64, l.Classes)
+			for c := range grad {
+				grad[c] = make([]float64, l.Dim+1)
+			}
+			for _, idx := range order[start:end] {
+				l.probsInto(x[idx], probs)
+				for c := 0; c < l.Classes; c++ {
+					g := probs[c]
+					if c == y[idx] {
+						g -= 1
+					}
+					gc := grad[c]
+					for j, v := range x[idx] {
+						gc[j] += g * v
+					}
+					gc[l.Dim] += g
+				}
+			}
+			scale := l.LR / float64(end-start)
+			for c := range l.w {
+				for j := range l.w[c] {
+					l.w[c][j] -= scale * grad[c][j]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Logistic) probsInto(x []float64, out []float64) {
+	max := math.Inf(-1)
+	for c, w := range l.w {
+		v := w[l.Dim]
+		for j, xv := range x {
+			v += w[j] * xv
+		}
+		out[c] = v
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for c := range out {
+		out[c] = math.Exp(out[c] - max)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// Probs returns class probabilities for one sample.
+func (l *Logistic) Probs(x []float64) ([]float64, error) {
+	if l.w == nil {
+		return nil, fmt.Errorf("svm: model not trained")
+	}
+	if len(x) != l.Dim {
+		return nil, fmt.Errorf("svm: sample has %d features, want %d", len(x), l.Dim)
+	}
+	out := make([]float64, l.Classes)
+	l.probsInto(x, out)
+	return out, nil
+}
+
+// Predict returns the most probable class. It panics if the model is
+// untrained; use Probs for a checked variant.
+func (l *Logistic) Predict(x []float64) int {
+	probs, err := l.Probs(x)
+	if err != nil {
+		panic(err)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range probs {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Name identifies the classifier.
+func (l *Logistic) Name() string { return "logistic" }

@@ -1,0 +1,199 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// blobs generates n points per class around separated centers.
+func blobs(r *prng.Rand, classes, dim, n int, sep float64) ([][]float64, []int) {
+	var x [][]float64
+	var y []int
+	for c := 0; c < classes; c++ {
+		for i := 0; i < n; i++ {
+			row := make([]float64, dim)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+			row[c%dim] += sep * float64(1+c/dim)
+			x = append(x, row)
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func accuracyOf(predict func([]float64) int, x [][]float64, y []int) float64 {
+	hit := 0
+	for i := range x {
+		if predict(x[i]) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(x))
+}
+
+func TestSVMBinaryBlobs(t *testing.T) {
+	r := prng.New(1)
+	x, y := blobs(r, 2, 4, 300, 4)
+	s, err := NewLinearSVM(4, 2, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(s.Predict, x, y); acc < 0.95 {
+		t.Fatalf("SVM accuracy %v on separable blobs", acc)
+	}
+}
+
+func TestSVMMulticlass(t *testing.T) {
+	r := prng.New(2)
+	x, y := blobs(r, 4, 6, 200, 5)
+	s, _ := NewLinearSVM(6, 4, 1e-4, 8, 2)
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(s.Predict, x, y); acc < 0.9 {
+		t.Fatalf("multiclass SVM accuracy %v", acc)
+	}
+}
+
+func TestLogisticBinaryBlobs(t *testing.T) {
+	r := prng.New(3)
+	x, y := blobs(r, 2, 4, 300, 4)
+	l, err := NewLogistic(4, 2, 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(l.Predict, x, y); acc < 0.95 {
+		t.Fatalf("logistic accuracy %v", acc)
+	}
+}
+
+func TestLogisticProbsSumToOne(t *testing.T) {
+	r := prng.New(4)
+	x, y := blobs(r, 3, 5, 50, 3)
+	l, _ := NewLogistic(5, 3, 0.2, 3, 32, 4)
+	if err := l.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Probs(x[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewLinearSVM(0, 2, 0, 0, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewLinearSVM(4, 1, 0, 0, 1); err == nil {
+		t.Error("1 class accepted")
+	}
+	if _, err := NewLogistic(-1, 2, 0, 0, 0, 1); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := NewLogistic(4, 0, 0, 0, 0, 1); err == nil {
+		t.Error("0 classes accepted")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	s, _ := NewLinearSVM(3, 2, 0, 0, 1)
+	if err := s.Fit(nil, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := s.Fit([][]float64{{1, 2, 3}}, []int{0, 1}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	if err := s.Fit([][]float64{{1, 2}}, []int{0}); err == nil {
+		t.Error("wrong dim accepted")
+	}
+	if err := s.Fit([][]float64{{1, 2, 3}}, []int{5}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	l, _ := NewLogistic(3, 2, 0, 0, 0, 1)
+	if err := l.Fit([][]float64{{1, 2, 3}}, []int{9}); err == nil {
+		t.Error("logistic out-of-range label accepted")
+	}
+}
+
+func TestUntrainedModelErrors(t *testing.T) {
+	s, _ := NewLinearSVM(3, 2, 0, 0, 1)
+	if _, err := s.Score([]float64{1, 2, 3}); err == nil {
+		t.Error("untrained SVM scored")
+	}
+	l, _ := NewLogistic(3, 2, 0, 0, 0, 1)
+	if _, err := l.Probs([]float64{1, 2, 3}); err == nil {
+		t.Error("untrained logistic scored")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	r := prng.New(5)
+	x, y := blobs(r, 2, 3, 100, 3)
+	train := func() []float64 {
+		s, _ := NewLinearSVM(3, 2, 0, 3, 99)
+		if err := s.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		sc, _ := s.Score(x[0])
+		return sc
+	}
+	a, b := train(), train()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SVM training not deterministic")
+		}
+	}
+}
+
+func TestSVMOnBitFeatures(t *testing.T) {
+	// The distinguisher's actual feature type: {0,1} vectors where one
+	// bit is biased by class.
+	r := prng.New(6)
+	const dim = 32
+	var x [][]float64
+	var y []int
+	for i := 0; i < 2000; i++ {
+		c := i % 2
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = float64(r.Intn(2))
+		}
+		// Class-dependent bias on bits 3 and 17.
+		if c == 1 {
+			if r.Float64() < 0.8 {
+				row[3] = 1
+			}
+			if r.Float64() < 0.8 {
+				row[17] = 0
+			}
+		}
+		x = append(x, row)
+		y = append(y, c)
+	}
+	s, _ := NewLinearSVM(dim, 2, 1e-4, 10, 7)
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOf(s.Predict, x, y); acc < 0.6 {
+		t.Fatalf("SVM failed to exploit bit bias: accuracy %v", acc)
+	}
+}

@@ -1,0 +1,206 @@
+package trails
+
+// Exact differential-transition probabilities for the GIMLI SP-box.
+//
+// The SP-box is quadratic: for a fixed input difference (a, b, c) on
+// the rotated words (x, y, z), the output difference is
+//
+//	Δout = const(a,b,c) ⊕ M(a,b,c)·state
+//
+// with M linear in the 96 state bits. Over a uniform state, a target
+// output difference therefore has probability exactly 2^−rank(M) when
+// the system M·s = Δout ⊕ const is consistent and 0 otherwise.
+// Expanding the three output words (≪ k drops high bits):
+//
+//	Δn2 = a ⊕ (c≪1) ⊕ ((y&c ⊕ b&z ⊕ b&c) ≪ 2)
+//	Δn1 = b ⊕ a ⊕ ((a ⊕ c ⊕ x&c ⊕ a&z ⊕ a&c) ≪ 1)
+//	Δn0 = c ⊕ b ⊕ ((x&b ⊕ a&y ⊕ a&b) ≪ 3)
+//
+// Summing per-round transition weights across rounds is exactly the
+// Markov/Equation-2 computation of the paper — the quantity that is
+// *unreliable* for the unkeyed GIMLI (Section 2.1's point), which this
+// package makes measurable by contrast with EstimateDP.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/gf2"
+	"repro/internal/gimli"
+)
+
+// spBoxSystem builds the GF(2) system for one column: 96 equations
+// (output-difference bits n0, n1, n2) over 96 variables (state bits
+// x, y, z), plus the constant vector.
+func spBoxSystem(a, b, c uint32) (*gf2.Matrix, [96]int) {
+	m := gf2.NewMatrix(96, 96)
+	// Variable indices: x_i = i, y_i = 32+i, z_i = 64+i.
+	for k := 0; k < 32; k++ {
+		// Δn0 bit k (equation k): (x&b ⊕ a&y) ≪ 3.
+		if i := k - 3; i >= 0 {
+			if b>>i&1 == 1 {
+				m.Set(k, i, 1) // x_i
+			}
+			if a>>i&1 == 1 {
+				m.Set(k, 32+i, 1) // y_i
+			}
+		}
+		// Δn1 bit k (equation 32+k): (x&c ⊕ a&z) ≪ 1.
+		if i := k - 1; i >= 0 {
+			if c>>i&1 == 1 {
+				m.Set(32+k, i, 1) // x_i
+			}
+			if a>>i&1 == 1 {
+				m.Set(32+k, 64+i, 1) // z_i
+			}
+		}
+		// Δn2 bit k (equation 64+k): (y&c ⊕ b&z) ≪ 2.
+		if i := k - 2; i >= 0 {
+			if c>>i&1 == 1 {
+				m.Set(64+k, 32+i, 1) // y_i
+			}
+			if b>>i&1 == 1 {
+				m.Set(64+k, 64+i, 1) // z_i
+			}
+		}
+	}
+
+	var konst [96]int
+	n0c := c ^ b ^ ((a & b) << 3)
+	n1c := b ^ a ^ ((a ^ c ^ (a & c)) << 1)
+	n2c := a ^ (c << 1) ^ ((b & c) << 2)
+	for k := 0; k < 32; k++ {
+		konst[k] = int(n0c >> k & 1)
+		konst[32+k] = int(n1c >> k & 1)
+		konst[64+k] = int(n2c >> k & 1)
+	}
+	return m, konst
+}
+
+// SPBoxExactDP returns the exact differential probability weight
+// (−log2 DP) of the SP-box transition (a, b, c) → (d0, d1, d2) in the
+// rotated coordinates, and whether the transition is possible at all.
+// Weight 0 means a deterministic transition.
+func SPBoxExactDP(a, b, c, d0, d1, d2 uint32) (float64, bool) {
+	m, konst := spBoxSystem(a, b, c)
+	rhs := make([]int, 96)
+	for k := 0; k < 32; k++ {
+		rhs[k] = int(d0>>k&1) ^ konst[k]
+		rhs[32+k] = int(d1>>k&1) ^ konst[32+k]
+		rhs[64+k] = int(d2>>k&1) ^ konst[64+k]
+	}
+	res := m.Solve(rhs)
+	if !res.Consistent {
+		return math.Inf(1), false
+	}
+	return float64(res.Rank), true
+}
+
+// SPBoxBestTransition returns the minimum transition weight from the
+// rotated-coordinate input difference (a, b, c) — which equals
+// rank(M), shared by every reachable output — together with the
+// canonical best output difference obtained from the all-zero state
+// (the pure constant part).
+func SPBoxBestTransition(a, b, c uint32) (weight float64, d0, d1, d2 uint32) {
+	m, konst := spBoxSystem(a, b, c)
+	rank := m.Rank()
+	for k := 0; k < 32; k++ {
+		d0 |= uint32(konst[k]) << k
+		d1 |= uint32(konst[32+k]) << k
+		d2 |= uint32(konst[64+k]) << k
+	}
+	return float64(rank), d0, d1, d2
+}
+
+// rotateIn converts a column's state-coordinate difference into the
+// rotated (x, y, z) coordinates the SP-box operates in.
+func rotateIn(ds0, ds1, ds2 uint32) (a, b, c uint32) {
+	return bits.RotL32(ds0, 24), bits.RotL32(ds1, 9), ds2
+}
+
+// undoLinearLayer maps a post-round state difference back through the
+// round's linear layer (swaps are involutions; constants vanish on
+// differences), yielding the difference right after the SP-box layer.
+func undoLinearLayer(d Delta, round int) Delta {
+	switch round & 3 {
+	case 0: // small swap
+		d[0], d[1] = d[1], d[0]
+		d[2], d[3] = d[3], d[2]
+	case 2: // big swap
+		d[0], d[2] = d[2], d[0]
+		d[1], d[3] = d[3], d[1]
+	}
+	return d
+}
+
+// ExactRoundTransitionWeight computes the exact Markov weight of one
+// full GIMLI round transition din → dout at round number `round`
+// (24 … 1): the sum of the four columns' SP-box weights. It returns
+// +Inf, false if any column transition is impossible.
+func ExactRoundTransitionWeight(din, dout Delta, round int) (float64, bool) {
+	target := undoLinearLayer(dout, round)
+	total := 0.0
+	for j := 0; j < 4; j++ {
+		a, b, c := rotateIn(din[j], din[4+j], din[8+j])
+		w, ok := SPBoxExactDP(a, b, c, target[j], target[4+j], target[8+j])
+		if !ok {
+			return math.Inf(1), false
+		}
+		total += w
+	}
+	return total, true
+}
+
+// ExactTrailWeight computes the Equation-2 (Markov) weight of a trail:
+// diffs[0] is the input difference and diffs[i] the difference after i
+// rounds, starting at round `start` counting down. It returns +Inf,
+// false if any transition is impossible. For the unkeyed GIMLI this is
+// precisely the quantity Section 2.1 warns may misestimate the true
+// probability; compare with EstimateDP.
+func ExactTrailWeight(diffs []Delta, start int) (float64, bool) {
+	if len(diffs) < 2 {
+		return 0, true
+	}
+	if start > gimli.FullRounds || start-(len(diffs)-1) < 0 {
+		panic(fmt.Sprintf("trails: trail of %d rounds does not fit below round %d", len(diffs)-1, start))
+	}
+	total := 0.0
+	for i := 1; i < len(diffs); i++ {
+		w, ok := ExactRoundTransitionWeight(diffs[i-1], diffs[i], start-i+1)
+		if !ok {
+			return math.Inf(1), false
+		}
+		total += w
+	}
+	return total, true
+}
+
+// GreedyTrail extends din by `rounds` rounds, at each round taking
+// every column's minimum-weight SP-box transition and applying the
+// linear layer. It returns the full trail (input plus one difference
+// per round) and its Equation-2 weight. Greedy search is not optimal
+// in general but recovers the optimal weights for 1–3 rounds from the
+// constructive trail input, and gives cheap upper bounds elsewhere.
+func GreedyTrail(din Delta, start, rounds int) ([]Delta, float64) {
+	if rounds < 0 || start > gimli.FullRounds || start-rounds < 0 {
+		panic(fmt.Sprintf("trails: invalid greedy window start=%d rounds=%d", start, rounds))
+	}
+	trail := []Delta{din}
+	total := 0.0
+	cur := din
+	for r := start; r > start-rounds; r-- {
+		var next Delta
+		for j := 0; j < 4; j++ {
+			a, b, c := rotateIn(cur[j], cur[4+j], cur[8+j])
+			w, d0, d1, d2 := SPBoxBestTransition(a, b, c)
+			total += w
+			next[j], next[4+j], next[8+j] = d0, d1, d2
+		}
+		// Apply the linear layer (swaps only; constants cancel).
+		next = undoLinearLayer(next, r) // involution: forward == undo
+		trail = append(trail, next)
+		cur = next
+	}
+	return trail, total
+}

@@ -1,0 +1,203 @@
+package trails
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gimli"
+	"repro/internal/prng"
+)
+
+func TestSPBoxExactDPZeroDiff(t *testing.T) {
+	// Zero input difference maps to zero output difference with
+	// probability 1 and everything else is impossible.
+	w, ok := SPBoxExactDP(0, 0, 0, 0, 0, 0)
+	if !ok || w != 0 {
+		t.Fatalf("zero transition weight %v ok=%v", w, ok)
+	}
+	if _, ok := SPBoxExactDP(0, 0, 0, 1, 0, 0); ok {
+		t.Fatal("zero → nonzero transition possible")
+	}
+}
+
+func TestSPBoxExactDPMatchesSampling(t *testing.T) {
+	// For random sparse input differences, the exact DP of an observed
+	// transition must match its sampled frequency.
+	r := prng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		a := uint32(1) << r.Intn(32)
+		b := uint32(0)
+		c := uint32(1) << r.Intn(32)
+
+		// Sample the transition distribution.
+		counts := map[[3]uint32]int{}
+		const n = 20000
+		for i := 0; i < n; i++ {
+			x, y, z := r.Uint32(), r.Uint32(), r.Uint32()
+			// Convert rotated coords back to state coords for SPBox.
+			n0a, n1a, n2a := gimli.SPBox(rotr(x, 24), rotr(y, 9), z)
+			n0b, n1b, n2b := gimli.SPBox(rotr(x^a, 24), rotr(y^b, 9), z^c)
+			counts[[3]uint32{n0a ^ n0b, n1a ^ n1b, n2a ^ n2b}]++
+		}
+		checked := 0
+		for diff, cnt := range counts {
+			if cnt < 500 { // only well-estimated transitions
+				continue
+			}
+			w, ok := SPBoxExactDP(a, b, c, diff[0], diff[1], diff[2])
+			if !ok {
+				t.Fatalf("observed transition declared impossible (diff %x)", diff)
+			}
+			freq := float64(cnt) / n
+			exact := math.Exp2(-w)
+			if math.Abs(freq-exact)/exact > 0.15 {
+				t.Fatalf("trial %d: exact 2^-%v vs sampled %v", trial, w, freq)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("trial %d: no transition estimated with confidence", trial)
+		}
+	}
+}
+
+func rotr(v uint32, k uint) uint32 { return v>>k | v<<(32-k) }
+
+func TestSPBoxExactDPImpossibleDetected(t *testing.T) {
+	// A single-bit input difference cannot produce arbitrary dense
+	// output differences: find one impossible case.
+	a, b, c := uint32(1), uint32(0), uint32(0)
+	if _, ok := SPBoxExactDP(a, b, c, 0xffffffff, 0xffffffff, 0xffffffff); ok {
+		t.Fatal("dense output from single-bit input declared possible")
+	}
+}
+
+func TestSPBoxBestTransitionConsistent(t *testing.T) {
+	// The canonical best output must be reachable with exactly the
+	// reported weight.
+	r := prng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		a, b, c := r.Uint32()&0xf, r.Uint32()&0xf, r.Uint32()&0xf
+		w, d0, d1, d2 := SPBoxBestTransition(a, b, c)
+		w2, ok := SPBoxExactDP(a, b, c, d0, d1, d2)
+		if !ok || w2 != w {
+			t.Fatalf("best transition self-inconsistent: %v vs %v (ok=%v)", w, w2, ok)
+		}
+	}
+}
+
+// TestExactTrailWeightConstructive proves the Table 1 rows exactly:
+// the constructive trail has Equation-2 weight 0 over rounds 1–2 and
+// weight 2 over round 3.
+func TestExactTrailWeightConstructive(t *testing.T) {
+	w, ok := ExactRoundTransitionWeight(TwoRoundTrailInput, OneRoundTrailOutput, 24)
+	if !ok || w != 0 {
+		t.Fatalf("round-24 transition weight %v ok=%v, want exactly 0", w, ok)
+	}
+	w, ok = ExactRoundTransitionWeight(OneRoundTrailOutput, TwoRoundTrailOutput, 23)
+	if !ok || w != 0 {
+		t.Fatalf("round-23 transition weight %v ok=%v, want exactly 0", w, ok)
+	}
+	w, ok = ExactRoundTransitionWeight(TwoRoundTrailOutput, ThreeRoundTrailOutput, 22)
+	if !ok || w != 2 {
+		t.Fatalf("round-22 transition weight %v ok=%v, want exactly 2", w, ok)
+	}
+
+	full, ok := ExactTrailWeight([]Delta{
+		TwoRoundTrailInput, OneRoundTrailOutput, TwoRoundTrailOutput, ThreeRoundTrailOutput,
+	}, 24)
+	if !ok || full != 2 {
+		t.Fatalf("3-round trail weight %v ok=%v, want exactly 2", full, ok)
+	}
+}
+
+func TestExactTrailWeightImpossible(t *testing.T) {
+	bad := TwoRoundTrailOutput
+	bad[5] ^= 1
+	if w, ok := ExactTrailWeight([]Delta{TwoRoundTrailInput, OneRoundTrailOutput, bad}, 24); ok || !math.IsInf(w, 1) {
+		t.Fatalf("impossible trail got weight %v ok=%v", w, ok)
+	}
+}
+
+func TestExactTrailWeightDegenerate(t *testing.T) {
+	if w, ok := ExactTrailWeight([]Delta{TwoRoundTrailInput}, 24); !ok || w != 0 {
+		t.Fatal("single-point trail should be weight 0")
+	}
+}
+
+// TestGreedyTrailRecoversOptimal: greedy extension of the constructive
+// input reproduces the Table 1 weights for 1–3 rounds.
+func TestGreedyTrailRecoversOptimal(t *testing.T) {
+	for rounds, want := range map[int]float64{1: 0, 2: 0, 3: 2} {
+		trail, w := GreedyTrail(TwoRoundTrailInput, 24, rounds)
+		if len(trail) != rounds+1 {
+			t.Fatalf("greedy trail has %d points for %d rounds", len(trail), rounds)
+		}
+		if w != want {
+			t.Fatalf("greedy %d-round weight %v, want %v", rounds, w, want)
+		}
+	}
+}
+
+// TestGreedyTrailMatchesEmpirical: the greedy 3-round trail's
+// Equation-2 weight agrees with the Monte-Carlo probability here
+// (for this trail the conditions are state-independent across rounds,
+// so Markov happens to be exact — the contrast case is the GIFT toy
+// cipher, where it is not).
+func TestGreedyTrailMatchesEmpirical(t *testing.T) {
+	trail, w := GreedyTrail(TwoRoundTrailInput, 24, 3)
+	r := prng.New(3)
+	p := EstimateDP(trail[0], trail[3], 3, 20000, r)
+	if math.Abs(p-math.Exp2(-w)) > 0.01 {
+		t.Fatalf("greedy trail: Markov 2^-%v vs empirical %v", w, p)
+	}
+}
+
+// TestGreedyUpperBoundsTable1: greedy weights are valid upper bounds
+// on the optimal weights of Table 1 for 4–5 rounds (greedy ≥ optimal).
+func TestGreedyUpperBoundsTable1(t *testing.T) {
+	for _, rounds := range []int{4, 5} {
+		_, w := GreedyTrail(TwoRoundTrailInput, 24, rounds)
+		opt, _ := OptimalWeight(rounds)
+		if w < float64(opt) {
+			t.Fatalf("greedy %d-round weight %v below the optimal %d — impossible", rounds, w, opt)
+		}
+	}
+}
+
+func TestGreedyTrailValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid window accepted")
+		}
+	}()
+	GreedyTrail(TwoRoundTrailInput, 24, 25)
+}
+
+func TestExactRoundTransitionRespectsSwaps(t *testing.T) {
+	// The round-24 transition includes a small swap. Presenting the
+	// unswapped output must fail for a diff with an active s0 word.
+	din := Delta{0: 1 << 7, 4: 1 << 22, 8: 1 << 31, 1: 1 << 7, 5: 1 << 22, 9: 1 << 31}
+	// Columns 0 and 1 active: after the SP-box both have Δs2 = bit31
+	// only (s0/s1 inactive), so the swap is invisible — build a case
+	// with active s0 instead: use the 2-round output at round 22 (big
+	// swap), where Δs0 is active.
+	_ = din
+	// At round 22, input Δs2 bit31 col 0 → SP-box output Δs0 bit31
+	// col 0 → big swap moves it to col 2.
+	in := Delta{8: 1 << 31}
+	swapped := Delta{2: 1 << 31}   // correct: after big swap
+	unswapped := Delta{0: 1 << 31} // wrong: forgot the swap
+	if w, ok := ExactRoundTransitionWeight(in, swapped, 22); !ok || w != 0 {
+		t.Fatalf("swapped output rejected (w=%v ok=%v)", w, ok)
+	}
+	if _, ok := ExactRoundTransitionWeight(in, unswapped, 22); ok {
+		t.Fatal("unswapped output accepted at a big-swap round")
+	}
+}
+
+func BenchmarkSPBoxExactDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SPBoxExactDP(1<<23, 0, 0, 0, 1<<23, 1<<23)
+	}
+}

@@ -1,0 +1,31 @@
+package trails_test
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+	"repro/internal/trails"
+)
+
+// The constructive probability-1 two-round trail that verifies the
+// weight-0 rows of Table 1.
+func ExampleEstimateDP() {
+	r := prng.New(1)
+	p := trails.EstimateDP(trails.TwoRoundTrailInput, trails.TwoRoundTrailOutput, 2, 1000, r)
+	fmt.Println("2-round trail probability:", p)
+	// Output:
+	// 2-round trail probability: 1
+}
+
+// The classical-vs-ML complexity comparison of the paper's headline
+// claim.
+func ExampleCubeRootClaim() {
+	classical, ml, ratio, err := trails.CubeRootClaim(8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("classical 2^%.0f vs ML online 2^%.1f (exponent ratio %.1f ≈ cube root)\n",
+		classical, ml, ratio)
+	// Output:
+	// classical 2^52 vs ML online 2^14.3 (exponent ratio 3.6 ≈ cube root)
+}

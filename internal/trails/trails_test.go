@@ -1,0 +1,145 @@
+package trails
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestTable1WeightsData(t *testing.T) {
+	want := []int{0, 0, 2, 6, 12, 22, 36, 52}
+	for i, w := range want {
+		got, err := OptimalWeight(i + 1)
+		if err != nil || got != w {
+			t.Errorf("OptimalWeight(%d) = %d, %v; want %d", i+1, got, err, w)
+		}
+	}
+	if _, err := OptimalWeight(0); err == nil {
+		t.Error("OptimalWeight(0) accepted")
+	}
+	if _, err := OptimalWeight(9); err == nil {
+		t.Error("OptimalWeight(9) accepted")
+	}
+}
+
+func TestWeightsMonotone(t *testing.T) {
+	for r := 2; r <= 8; r++ {
+		a, _ := OptimalWeight(r - 1)
+		b, _ := OptimalWeight(r)
+		if b < a {
+			t.Errorf("weights not monotone at %d rounds: %d < %d", r, b, a)
+		}
+	}
+}
+
+func TestClassicalDataComplexity(t *testing.T) {
+	c, err := ClassicalDataComplexity(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != math.Exp2(52) {
+		t.Errorf("8-round complexity = %v, want 2^52", c)
+	}
+}
+
+// TestOneRoundTrailDeterministic verifies the first step of the
+// constructive trail: probability exactly 1 over random states.
+func TestOneRoundTrailDeterministic(t *testing.T) {
+	r := prng.New(1)
+	p := EstimateDP(TwoRoundTrailInput, OneRoundTrailOutput, 1, 2000, r)
+	if p != 1 {
+		t.Fatalf("1-round trail probability = %v, want 1 (Table 1 weight 0)", p)
+	}
+}
+
+// TestTwoRoundTrailDeterministic verifies the weight-0 row for 2 rounds
+// of Table 1 constructively.
+func TestTwoRoundTrailDeterministic(t *testing.T) {
+	r := prng.New(2)
+	p := EstimateDP(TwoRoundTrailInput, TwoRoundTrailOutput, 2, 2000, r)
+	if p != 1 {
+		t.Fatalf("2-round trail probability = %v, want 1 (Table 1 weight 0)", p)
+	}
+}
+
+// TestThreeRoundTrailWeight2 verifies the weight-2 row of Table 1: the
+// best continuation of the deterministic trail holds with probability
+// 2^-2 (two independent single-bit conditions).
+func TestThreeRoundTrailWeight2(t *testing.T) {
+	r := prng.New(3)
+	const n = 20000
+	p := EstimateDP(TwoRoundTrailInput, ThreeRoundTrailOutput, 3, n, r)
+	// 3 sigma of a Bernoulli(1/4) over 20000 samples ≈ 0.0092.
+	if math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("3-round trail probability = %v, want ≈ 0.25 (weight 2)", p)
+	}
+}
+
+// TestBestObservedDiffFindsTrail: the sampler should rediscover the
+// deterministic 2-round output difference on its own.
+func TestBestObservedDiffFindsTrail(t *testing.T) {
+	r := prng.New(4)
+	best, p := BestObservedDiff(TwoRoundTrailInput, 2, 500, r)
+	if best != TwoRoundTrailOutput {
+		t.Fatalf("best 2-round diff = %x, want the trail output", best)
+	}
+	if p != 1 {
+		t.Fatalf("best 2-round diff probability = %v, want 1", p)
+	}
+}
+
+// TestFourRoundConsistency: extending our input by four rounds must
+// yield a best differential at least as probable as 2^-7 — consistent
+// with (and lower-bounding) the Table 1 weight-6 optimal trail region.
+func TestFourRoundConsistency(t *testing.T) {
+	r := prng.New(5)
+	_, p := BestObservedDiff(TwoRoundTrailInput, 4, 60000, r)
+	if p < math.Exp2(-7) {
+		t.Fatalf("best observed 4-round differential probability %v (2^%.2f) below 2^-7",
+			p, math.Log2(p))
+	}
+}
+
+// TestRandomDiffDoesNotFollowTrail: a wrong output difference has
+// probability ≈ 0.
+func TestRandomDiffDoesNotFollowTrail(t *testing.T) {
+	r := prng.New(6)
+	wrong := TwoRoundTrailOutput
+	wrong[5] ^= 1 // perturb a word the trail says is inactive
+	p := EstimateDP(TwoRoundTrailInput, wrong, 2, 2000, r)
+	if p != 0 {
+		t.Fatalf("wrong output difference had probability %v", p)
+	}
+}
+
+func TestCubeRootClaim(t *testing.T) {
+	classical, ml, ratio, err := CubeRootClaim(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classical != 52 || ml != 14.3 {
+		t.Fatalf("CubeRootClaim(8) = (%v, %v)", classical, ml)
+	}
+	// "around cube root": the exponent ratio should be near 3.
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Fatalf("exponent ratio %v not 'around cube root'", ratio)
+	}
+	if _, _, _, err := CubeRootClaim(99); err == nil {
+		t.Error("CubeRootClaim(99) accepted")
+	}
+}
+
+func TestPaperComplexity(t *testing.T) {
+	c := PaperComplexity()
+	if c.OfflineLog2 != 17.6 || c.OnlineLog2 != 14.3 {
+		t.Fatalf("PaperComplexity = %+v", c)
+	}
+}
+
+func BenchmarkEstimateDP2Rounds(b *testing.B) {
+	r := prng.New(1)
+	for i := 0; i < b.N; i++ {
+		EstimateDP(TwoRoundTrailInput, TwoRoundTrailOutput, 2, 100, r)
+	}
+}

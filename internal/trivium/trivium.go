@@ -1,0 +1,109 @@
+// Package trivium implements the Trivium stream cipher (De Cannière &
+// Preneel, eSTREAM), the second non-Markov example of Section 2.1 of
+// the paper. The cipher's 288-bit state is warmed up for 4·288 = 1152
+// clocks before keystream is emitted; the standard way to study its
+// differential behaviour — and our distinguisher scenario — is to
+// reduce this initialization clock count and classify keystream-prefix
+// differences under chosen IV differences.
+package trivium
+
+import "fmt"
+
+// KeyBytes is the key length (80 bits).
+const KeyBytes = 10
+
+// IVBytes is the IV length (80 bits).
+const IVBytes = 10
+
+// FullInitClocks is the full initialization of 4 × 288 clocks.
+const FullInitClocks = 1152
+
+// Cipher is a Trivium instance. The state is stored as 288 booleans
+// s[0] … s[287] corresponding to the specification's s1 … s288 —
+// clarity over speed, which is ample for distinguisher workloads.
+type Cipher struct {
+	s [288]bool
+}
+
+// New initializes a Trivium instance with the given key and IV and
+// runs initClocks warm-up clocks (FullInitClocks for the real cipher).
+// Bit i of key/iv byte b is taken LSB-first: key bit 8b+i = key[b]>>i.
+func New(key, iv []byte, initClocks int) (*Cipher, error) {
+	if len(key) != KeyBytes {
+		return nil, fmt.Errorf("trivium: key must be %d bytes, got %d", KeyBytes, len(key))
+	}
+	if len(iv) != IVBytes {
+		return nil, fmt.Errorf("trivium: IV must be %d bytes, got %d", IVBytes, len(iv))
+	}
+	if initClocks < 0 || initClocks > FullInitClocks {
+		return nil, fmt.Errorf("trivium: init clocks must be in [0, %d], got %d", FullInitClocks, initClocks)
+	}
+	c := &Cipher{}
+	// (s1 … s93)   ← (K1 … K80, 0 … 0)
+	for i := 0; i < 80; i++ {
+		c.s[i] = key[i/8]>>(i%8)&1 == 1
+	}
+	// (s94 … s177) ← (IV1 … IV80, 0 … 0)
+	for i := 0; i < 80; i++ {
+		c.s[93+i] = iv[i/8]>>(i%8)&1 == 1
+	}
+	// (s178 … s288) ← (0 … 0, 1, 1, 1)
+	c.s[285], c.s[286], c.s[287] = true, true, true
+	for i := 0; i < initClocks; i++ {
+		c.clock() // warm-up: the output bit is simply not emitted
+	}
+	return c, nil
+}
+
+// clock advances the state by one step and returns the output bit,
+// which is the keystream bit once initialization is over.
+func (c *Cipher) clock() bool {
+	s := &c.s
+	t1 := s[65] != s[92]   // s66 ⊕ s93
+	t2 := s[161] != s[176] // s162 ⊕ s177
+	t3 := s[242] != s[287] // s243 ⊕ s288
+	z := t1 != (t2 != t3)
+
+	t1 = t1 != (s[90] && s[91]) != s[170]   // ⊕ s91·s92 ⊕ s171
+	t2 = t2 != (s[174] && s[175]) != s[263] // ⊕ s175·s176 ⊕ s264
+	t3 = t3 != (s[285] && s[286]) != s[68]  // ⊕ s286·s287 ⊕ s69
+
+	// Shift the three registers: A = s1..s93, B = s94..s177,
+	// C = s178..s288.
+	copy(s[1:93], s[0:92])
+	copy(s[94:177], s[93:176])
+	copy(s[178:288], s[177:287])
+	s[0] = t3
+	s[93] = t1
+	s[177] = t2
+	return z
+}
+
+// KeystreamBit returns the next keystream bit.
+func (c *Cipher) KeystreamBit() bool { return c.clock() }
+
+// Keystream fills out with the next 8·len(out) keystream bits,
+// LSB-first within each byte.
+func (c *Cipher) Keystream(out []byte) {
+	for i := range out {
+		var b byte
+		for k := 0; k < 8; k++ {
+			if c.clock() {
+				b |= 1 << k
+			}
+		}
+		out[i] = b
+	}
+}
+
+// Prefix is a convenience: initialize with (key, iv, initClocks) and
+// return the first n keystream bytes.
+func Prefix(key, iv []byte, initClocks, n int) ([]byte, error) {
+	c, err := New(key, iv, initClocks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	c.Keystream(out)
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package trivium
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+func TestValidation(t *testing.T) {
+	key := make([]byte, KeyBytes)
+	iv := make([]byte, IVBytes)
+	if _, err := New(key[:9], iv, FullInitClocks); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := New(key, iv[:9], FullInitClocks); err == nil {
+		t.Error("short IV accepted")
+	}
+	if _, err := New(key, iv, -1); err == nil {
+		t.Error("negative init clocks accepted")
+	}
+	if _, err := New(key, iv, FullInitClocks+1); err == nil {
+		t.Error("oversized init clocks accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	key := make([]byte, KeyBytes)
+	iv := make([]byte, IVBytes)
+	key[0] = 0x80
+	a, err := Prefix(key, iv, FullInitClocks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Prefix(key, iv, FullInitClocks, 16)
+	if !bits.Equal(a, b) {
+		t.Fatal("keystream not deterministic")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	key := make([]byte, KeyBytes)
+	iv := make([]byte, IVBytes)
+	a, _ := Prefix(key, iv, FullInitClocks, 16)
+	key[3] ^= 1
+	b, _ := Prefix(key, iv, FullInitClocks, 16)
+	if bits.Equal(a, b) {
+		t.Fatal("key bit flip invisible in keystream")
+	}
+}
+
+func TestIVSensitivity(t *testing.T) {
+	key := make([]byte, KeyBytes)
+	iv := make([]byte, IVBytes)
+	a, _ := Prefix(key, iv, FullInitClocks, 16)
+	iv[7] ^= 1
+	b, _ := Prefix(key, iv, FullInitClocks, 16)
+	if bits.Equal(a, b) {
+		t.Fatal("IV bit flip invisible in keystream")
+	}
+}
+
+func TestKeystreamBalanced(t *testing.T) {
+	// Full-init keystream bits should be balanced across random keys.
+	r := prng.New(1)
+	ones, total := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		ks, err := Prefix(r.Bytes(KeyBytes), r.Bytes(IVBytes), FullInitClocks, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += bits.PopCount(ks)
+		total += len(ks) * 8
+	}
+	frac := float64(ones) / float64(total)
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("keystream bit fraction %.4f", frac)
+	}
+}
+
+func TestReducedInitIsBiased(t *testing.T) {
+	// With drastically reduced initialization, an IV difference leaves
+	// a non-random keystream difference — the distinguisher surface.
+	// At 288 clocks (a quarter of the warm-up) the first keystream
+	// bits still correlate strongly between IV-neighbour pairs.
+	r := prng.New(2)
+	const clocks = 288
+	const trials = 300
+	weight := 0
+	for i := 0; i < trials; i++ {
+		key := r.Bytes(KeyBytes)
+		iv := r.Bytes(IVBytes)
+		a, err := Prefix(key, iv, clocks, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv[0] ^= 1
+		b, _ := Prefix(key, iv, clocks, 8)
+		weight += bits.HammingDistance(a, b)
+	}
+	mean := float64(weight) / trials // of 64 bits
+	if mean > 28 {
+		t.Fatalf("reduced-init keystream difference too random: mean weight %.1f of 64", mean)
+	}
+}
+
+func TestFullInitLooksRandom(t *testing.T) {
+	// Negative control: after the full 1152 clocks the same IV
+	// difference produces ≈ balanced keystream differences.
+	r := prng.New(3)
+	const trials = 300
+	weight := 0
+	for i := 0; i < trials; i++ {
+		key := r.Bytes(KeyBytes)
+		iv := r.Bytes(IVBytes)
+		a, _ := Prefix(key, iv, FullInitClocks, 8)
+		iv[0] ^= 1
+		b, _ := Prefix(key, iv, FullInitClocks, 8)
+		weight += bits.HammingDistance(a, b)
+	}
+	mean := float64(weight) / trials
+	if mean < 28 || mean > 36 {
+		t.Fatalf("full-init difference weight %.1f of 64, want ≈ 32", mean)
+	}
+}
+
+func TestKeystreamBitMatchesKeystream(t *testing.T) {
+	key := make([]byte, KeyBytes)
+	iv := make([]byte, IVBytes)
+	key[0] = 1
+	c1, _ := New(key, iv, FullInitClocks)
+	c2, _ := New(key, iv, FullInitClocks)
+	buf := make([]byte, 4)
+	c1.Keystream(buf)
+	for i := 0; i < 32; i++ {
+		bit := c2.KeystreamBit()
+		want := buf[i/8]>>(i%8)&1 == 1
+		if bit != want {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkInitFull(b *testing.B) {
+	key := make([]byte, KeyBytes)
+	iv := make([]byte, IVBytes)
+	for i := 0; i < b.N; i++ {
+		_, _ = New(key, iv, FullInitClocks)
+	}
+}
+
+func BenchmarkKeystreamByte(b *testing.B) {
+	c, _ := New(make([]byte, KeyBytes), make([]byte, IVBytes), FullInitClocks)
+	buf := make([]byte, 1)
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		c.Keystream(buf)
+	}
+}
