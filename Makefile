@@ -1,0 +1,15 @@
+# Tier-1 verify: build, vet, tests, and race tests on the concurrent
+# packages (see scripts/check.sh).
+check:
+	./scripts/check.sh
+
+# Paper-table benchmarks; BENCH_*.json trajectories come from these.
+bench:
+	go test . -run xxx -bench . -benchtime 1x
+
+# The performance-sensitive benchmarks only (dataset generation,
+# batched inference, matrix kernels, online phase).
+bench-perf:
+	go test . -run xxx -bench 'GenerateDataset|PredictBatch|MatMul|OracleGameOnline' -benchtime 3x
+
+.PHONY: check bench bench-perf

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gift"
+	"repro/internal/nn"
 	"repro/internal/prng"
 	"repro/internal/trails"
 )
@@ -186,6 +187,7 @@ func BenchmarkOracleGameOnline(b *testing.B) {
 	}
 	r := prng.New(9)
 	oracle := core.CipherOracle{S: s}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Distinguish(oracle, 256, r); err != nil {
@@ -193,4 +195,106 @@ func BenchmarkOracleGameOnline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(256, "queries/op")
+}
+
+// BenchmarkGenerateDataset measures the offline data-generation rate —
+// the 2^17.6-sample side of the paper's complexity — serial versus
+// sharded across GOMAXPROCS workers. The two paths produce identical
+// bytes (TestGenerateDatasetParallelDeterminism); only wall-clock
+// differs.
+func BenchmarkGenerateDataset(b *testing.B) {
+	s, err := core.NewGimliCipherScenario(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perClass = 512
+	samples := float64(perClass * s.Classes())
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.GenerateDataset(s, perClass, prng.New(1))
+		}
+		b.ReportMetric(samples, "samples/op")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.GenerateDatasetParallel(s, perClass, prng.New(1), 0)
+		}
+		b.ReportMetric(samples, "samples/op")
+	})
+}
+
+// BenchmarkPredictBatch compares per-sample classification (one 1-row
+// forward pass per query, the pre-batching online phase) against one
+// batched forward pass over the same queries.
+func BenchmarkPredictBatch(b *testing.B) {
+	s, err := core.NewGimliCipherScenario(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 128, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.GenerateDataset(s, 512, prng.New(7))
+	if err := func() error {
+		c.Epochs = 1
+		return c.Fit(d.X, d.Y)
+	}(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("one-by-one", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range d.X {
+				_ = c.Predict(x)
+			}
+		}
+		b.ReportMetric(float64(d.Len()), "samples/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.PredictBatch(d.X)
+		}
+		b.ReportMetric(float64(d.Len()), "samples/op")
+	})
+}
+
+// BenchmarkMatMul measures the cache-blocked kernels at MLP III's hot
+// shapes: the input layer (128-bit differences into 1024 units) and
+// the 1024×1024 hidden layer whose weights overflow L2.
+func BenchmarkMatMul(b *testing.B) {
+	r := prng.New(11)
+	randMat := func(rows, cols int) *nn.Matrix {
+		m := nn.NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		return m
+	}
+	for _, shape := range []struct{ n, k, m int }{
+		{128, 128, 1024},
+		{128, 1024, 1024},
+	} {
+		a := randMat(shape.n, shape.k)
+		w := randMat(shape.k, shape.m)
+		out := nn.NewMatrix(shape.n, shape.m)
+		b.Run(fmt.Sprintf("Mul/%dx%dx%d", shape.n, shape.k, shape.m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nn.MulInto(out, a, w)
+			}
+		})
+	}
+	a := randMat(128, 1024)
+	w := randMat(1024, 1024)
+	out := nn.NewMatrix(128, 1024)
+	b.Run("MulNT/128x1024x1024", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nn.MulNTInto(out, a, w)
+		}
+	})
 }

@@ -70,12 +70,23 @@ func (c *NNClassifier) Fit(x [][]float64, y []int) error {
 // Predict returns the network's argmax class.
 func (c *NNClassifier) Predict(x []float64) int { return c.Net.PredictOne(x) }
 
+// PredictBatch classifies the whole batch in one forward pass through
+// the network, instead of one 1-row matrix product per sample.
+func (c *NNClassifier) PredictBatch(x [][]float64) []int {
+	if len(x) == 0 {
+		return nil
+	}
+	return c.Net.Predict(nn.FromRows(x))
+}
+
 // Interface checks: the svm package models implement Classifier
 // directly.
 var (
 	_ Classifier = (*svm.LinearSVM)(nil)
 	_ Classifier = (*svm.Logistic)(nil)
 	_ Classifier = (*NNClassifier)(nil)
+	_ Classifier = (*BitBiasClassifier)(nil)
+	_ Classifier = Batched{}
 )
 
 // BitBiasClassifier is a non-ML analytic baseline: it estimates the
@@ -173,3 +184,6 @@ func (b *BitBiasClassifier) Predict(x []float64) int {
 	}
 	return best
 }
+
+// PredictBatch loops the naive-Bayes rule over the batch.
+func (b *BitBiasClassifier) PredictBatch(x [][]float64) []int { return PredictEach(b, x) }

@@ -48,11 +48,60 @@ type Scenario interface {
 
 // Classifier is the model slot of Algorithm 2. internal/nn networks
 // (via NNClassifier) and internal/svm models satisfy it.
+//
+// PredictBatch classifies many samples at once; the online and
+// evaluation loops always go through it, so implementations with a
+// vectorized forward pass (the neural networks) amortize per-call
+// overhead across the whole batch. Implementations that only have a
+// per-sample rule can delegate to PredictEach, or wrap a
+// Predict-only model in Batched.
 type Classifier interface {
 	Name() string
 	Fit(x [][]float64, y []int) error
 	Predict(x []float64) int
+	PredictBatch(x [][]float64) []int
 }
+
+// Predictor is the single-sample half of Classifier, the minimal
+// surface PredictEach needs.
+type Predictor interface {
+	Predict(x []float64) int
+}
+
+// PredictEach implements PredictBatch by repeated Predict calls — the
+// default adapter for classifiers without a native batch path.
+func PredictEach(p Predictor, x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = p.Predict(row)
+	}
+	return out
+}
+
+// SingleClassifier is a classifier that only knows how to score one
+// sample at a time (the pre-batching Classifier interface).
+type SingleClassifier interface {
+	Name() string
+	Fit(x [][]float64, y []int) error
+	Predict(x []float64) int
+}
+
+// Batched lifts a Predict-only classifier to the full Classifier
+// interface by looping, so user-provided models keep working without
+// implementing a batch path themselves.
+type Batched struct{ C SingleClassifier }
+
+// Name identifies the wrapped classifier.
+func (b Batched) Name() string { return b.C.Name() }
+
+// Fit delegates to the wrapped classifier.
+func (b Batched) Fit(x [][]float64, y []int) error { return b.C.Fit(x, y) }
+
+// Predict delegates to the wrapped classifier.
+func (b Batched) Predict(x []float64) int { return b.C.Predict(x) }
+
+// PredictBatch loops Predict over the batch.
+func (b Batched) PredictBatch(x [][]float64) []int { return PredictEach(b.C, x) }
 
 // Oracle answers online-phase queries: given a class index, it returns
 // the output-difference features the attacker would compute from its

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/prng"
 	"repro/internal/stats"
@@ -21,18 +23,63 @@ type Dataset struct {
 
 // GenerateDataset draws perClass cipher samples for each of the
 // scenario's classes, interleaved so that truncation keeps balance.
+//
+// Determinism contract: exactly one output is consumed from r to
+// derive a base seed, and row j (canonical interleaved order: sample
+// i of class c sits at row i*t+c) is drawn from the positional
+// substream prng.NewStream(base, j). Because each row owns its
+// substream, any partition of rows across workers reproduces the same
+// bytes — GenerateDataset and GenerateDatasetParallel are
+// interchangeable at every worker count.
 func GenerateDataset(s Scenario, perClass int, r *prng.Rand) *Dataset {
+	return GenerateDatasetParallel(s, perClass, r, 1)
+}
+
+// GenerateDatasetParallel is GenerateDataset sharded across workers
+// goroutines (workers <= 0 selects runtime.GOMAXPROCS). The output is
+// byte-identical to GenerateDataset for the same scenario, perClass
+// and generator state, regardless of worker count; see the
+// determinism contract on GenerateDataset.
+func GenerateDatasetParallel(s Scenario, perClass int, r *prng.Rand, workers int) *Dataset {
 	t := s.Classes()
+	n := perClass * t
+	base := r.Uint64()
 	d := &Dataset{
-		X: make([][]float64, 0, perClass*t),
-		Y: make([]int, 0, perClass*t),
+		X: make([][]float64, n),
+		Y: make([]int, n),
 	}
-	for i := 0; i < perClass; i++ {
-		for c := 0; c < t; c++ {
-			d.X = append(d.X, s.Sample(r, c))
-			d.Y = append(d.Y, c)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	fill := func(lo, hi int, rw *prng.Rand) {
+		for j := lo; j < hi; j++ {
+			rw.SeedStream(base, uint64(j))
+			c := j % t
+			d.X[j] = s.Sample(rw, c)
+			d.Y[j] = c
 		}
 	}
+	if workers <= 1 || n == 0 {
+		fill(0, n, &prng.Rand{})
+		return d
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi, &prng.Rand{})
+		}(lo, hi)
+	}
+	wg.Wait()
 	return d
 }
 
@@ -94,13 +141,13 @@ func Train(s Scenario, c Classifier, cfg TrainConfig) (*Distinguisher, error) {
 		return nil, fmt.Errorf("core: scenario %q has %d classes, need ≥ 2", s.Name(), s.Classes())
 	}
 	r := prng.New(cfg.Seed)
-	trainSet := GenerateDataset(s, cfg.TrainPerClass, r)
+	trainSet := GenerateDatasetParallel(s, cfg.TrainPerClass, r, 0)
 	if err := c.Fit(trainSet.X, trainSet.Y); err != nil {
 		return nil, fmt.Errorf("core: fitting %s on %s: %w", c.Name(), s.Name(), err)
 	}
 
 	trainAcc := evalAccuracy(c, trainSet)
-	valSet := GenerateDataset(s, cfg.ValPerClass, r)
+	valSet := GenerateDatasetParallel(s, cfg.ValPerClass, r, 0)
 	valAcc := evalAccuracy(c, valSet)
 
 	d := &Distinguisher{
@@ -121,11 +168,7 @@ func Train(s Scenario, c Classifier, cfg TrainConfig) (*Distinguisher, error) {
 }
 
 func evalAccuracy(c Classifier, d *Dataset) float64 {
-	pred := make([]int, d.Len())
-	for i, x := range d.X {
-		pred[i] = c.Predict(x)
-	}
-	return stats.Accuracy(pred, d.Y)
+	return stats.Accuracy(c.PredictBatch(d.X), d.Y)
 }
 
 // OnlineResult is the outcome of one online phase (Algorithm 2,
@@ -136,11 +179,22 @@ type OnlineResult struct {
 	Verdict  stats.Verdict
 }
 
+// distinguishBatch caps how many oracle answers are buffered before a
+// PredictBatch call, bounding memory while keeping batches large
+// enough to amortize the classifier's per-call overhead.
+const distinguishBatch = 4096
+
 // Distinguish runs the online phase against an oracle: make queries
 // cycling through the classes, score the classifier's predictions, and
 // decide CIPHER vs RANDOM. queries is the total number of predictions
 // (the paper's online data complexity; 0 selects the number suggested
 // by the offline accuracy at 4σ).
+//
+// Queries are drawn from the oracle in order (so the generator stream
+// is consumed exactly as in the per-query formulation) but scored
+// through Classifier.PredictBatch in chunks of up to 4096, which for
+// the neural classifiers replaces thousands of 1-row forward passes
+// with a few batched matrix products.
 func (d *Distinguisher) Distinguish(o Oracle, queries int, r *prng.Rand) (OnlineResult, error) {
 	t := d.Scenario.Classes()
 	if queries <= 0 {
@@ -150,15 +204,30 @@ func (d *Distinguisher) Distinguish(o Oracle, queries int, r *prng.Rand) (Online
 		}
 		queries = n
 	}
+	featLen := d.Scenario.FeatureLen()
+	chunk := queries
+	if chunk > distinguishBatch {
+		chunk = distinguishBatch
+	}
+	xs := make([][]float64, 0, chunk)
 	hits := 0
-	for i := 0; i < queries; i++ {
-		class := i % t
-		x := o.Query(r, class)
-		if len(x) != d.Scenario.FeatureLen() {
-			return OnlineResult{}, fmt.Errorf("core: oracle returned %d features, want %d", len(x), d.Scenario.FeatureLen())
+	for done := 0; done < queries; done += len(xs) {
+		n := queries - done
+		if n > chunk {
+			n = chunk
 		}
-		if d.Classifier.Predict(x) == class {
-			hits++
+		xs = xs[:0]
+		for k := 0; k < n; k++ {
+			x := o.Query(r, (done+k)%t)
+			if len(x) != featLen {
+				return OnlineResult{}, fmt.Errorf("core: oracle returned %d features, want %d", len(x), featLen)
+			}
+			xs = append(xs, x)
+		}
+		for k, p := range d.Classifier.PredictBatch(xs) {
+			if p == (done+k)%t {
+				hits++
+			}
 		}
 	}
 	aPrime := float64(hits) / float64(queries)

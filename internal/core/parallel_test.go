@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// datasetsEqual reports whether two datasets are byte-identical.
+func datasetsEqual(a, b *Dataset) bool {
+	if len(a.X) != len(b.X) || len(a.Y) != len(b.Y) {
+		return false
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] || len(a.X[i]) != len(b.X[i]) {
+			return false
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGenerateDatasetParallelDeterminism is the determinism regression
+// test for the sharded-PRNG scheme: for a Gimli and a Speck scenario,
+// GenerateDatasetParallel at 1, 4 and 7 workers must produce (X, Y)
+// identical to the serial GenerateDataset from the same seed.
+func TestGenerateDatasetParallelDeterminism(t *testing.T) {
+	gimli, err := NewGimliCipherScenario(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speck, err := NewSpeckScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scenario{gimli, speck} {
+		// perClass chosen so the row count is not divisible by the
+		// worker counts — shard boundaries land mid-class.
+		const perClass = 101
+		want := GenerateDataset(s, perClass, prng.New(33))
+		if want.Len() != perClass*s.Classes() {
+			t.Fatalf("%s: serial dataset has %d rows, want %d", s.Name(), want.Len(), perClass*s.Classes())
+		}
+		for _, workers := range []int{1, 4, 7} {
+			got := GenerateDatasetParallel(s, perClass, prng.New(33), workers)
+			if !datasetsEqual(got, want) {
+				t.Errorf("%s: %d-worker dataset differs from serial", s.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestGenerateDatasetConsumesOneDraw pins the generator contract:
+// dataset generation consumes exactly one output from the caller's
+// stream, so train/validation splits stay reproducible no matter how
+// many samples each draws.
+func TestGenerateDatasetConsumesOneDraw(t *testing.T) {
+	s, err := NewSpeckScenario(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := prng.New(5)
+	GenerateDataset(s, 17, r1)
+	r2 := prng.New(5)
+	_ = r2.Uint64()
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("GenerateDataset consumed more than one draw from the caller's generator")
+	}
+}
+
+func TestGenerateDatasetInterleavesClasses(t *testing.T) {
+	s, err := NewSpeckScenario(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := GenerateDatasetParallel(s, 5, prng.New(1), 3)
+	for j, c := range d.Y {
+		if c != j%s.Classes() {
+			t.Fatalf("row %d has class %d, want interleaved %d", j, c, j%s.Classes())
+		}
+	}
+}
+
+// badOracle returns feature vectors of the wrong length after a few
+// good answers, exercising the batched validation path.
+type badOracle struct {
+	S    Scenario
+	good int // number of valid answers before misbehaving
+	n    int
+}
+
+func (o *badOracle) Query(r *prng.Rand, class int) []float64 {
+	o.n++
+	if o.n > o.good {
+		return make([]float64, 3) // wrong length
+	}
+	return o.S.Sample(r, class)
+}
+
+// TestDistinguishRejectsMisbehavingOracle checks that the batched
+// online phase still errors cleanly (no panic, no silent scoring) when
+// the oracle returns a vector of the wrong width mid-batch.
+func TestDistinguishRejectsMisbehavingOracle(t *testing.T) {
+	s, err := NewSpeckScenario(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewBitBiasClassifier(s.FeatureLen(), s.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Train(s, c, TrainConfig{TrainPerClass: 256, ValPerClass: 128, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Distinguish(&badOracle{S: s, good: 10}, 64, prng.New(4))
+	if err == nil {
+		t.Fatal("Distinguish accepted a 3-feature answer for a 32-feature scenario")
+	}
+	if !strings.Contains(err.Error(), "features") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestPredictBatchMatchesPredict checks batch/serial agreement for
+// every classifier family the repository ships.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	s, err := NewSpeckScenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(6)
+	train := GenerateDataset(s, 128, r)
+	probe := GenerateDataset(s, 32, r)
+
+	mlp, err := NewMLPClassifier(s.FeatureLen(), s.Classes(), 32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp.Epochs = 1
+	bb, err := NewBitBiasClassifier(s.FeatureLen(), s.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Classifier{mlp, bb} {
+		if err := c.Fit(train.X, train.Y); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		batch := c.PredictBatch(probe.X)
+		if len(batch) != probe.Len() {
+			t.Fatalf("%s: batch returned %d predictions for %d samples", c.Name(), len(batch), probe.Len())
+		}
+		for i, x := range probe.X {
+			if one := c.Predict(x); one != batch[i] {
+				t.Fatalf("%s: sample %d: Predict=%d PredictBatch=%d", c.Name(), i, one, batch[i])
+			}
+		}
+	}
+	if got := mlp.PredictBatch(nil); got != nil {
+		t.Fatalf("PredictBatch(nil) = %v, want nil", got)
+	}
+}
+
+// TestBatchedAdapter checks the Predict-only adapter path.
+func TestBatchedAdapter(t *testing.T) {
+	s, err := NewSpeckScenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := NewBitBiasClassifier(s.FeatureLen(), s.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Classifier = Batched{C: bb}
+	if c.Name() != bb.Name() {
+		t.Fatalf("adapter name %q", c.Name())
+	}
+	r := prng.New(6)
+	train := GenerateDataset(s, 64, r)
+	if err := c.Fit(train.X, train.Y); err != nil {
+		t.Fatal(err)
+	}
+	probe := GenerateDataset(s, 16, r)
+	batch := c.PredictBatch(probe.X)
+	for i, x := range probe.X {
+		if c.Predict(x) != batch[i] {
+			t.Fatalf("adapter batch/serial disagree at %d", i)
+		}
+	}
+}

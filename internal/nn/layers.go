@@ -42,6 +42,7 @@ type Dense struct {
 	In, Out int
 	w, b    *Param
 	x       *Matrix // cached input
+	out     *Matrix // training-time output scratch, reused across steps
 }
 
 // NewDense creates a Dense layer with Glorot-uniform weights drawn from
@@ -75,16 +76,26 @@ func (d *Dense) OutDim() int { return d.Out }
 // Params returns the weight and bias tensors.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
-// Forward computes x·W + b.
+// Forward computes x·W + b. During training the output buffer is
+// reused across steps (the value is consumed within the step by the
+// following layer and the loss, and Backward only needs the cached
+// input), which removes one batch-sized allocation per layer per
+// mini-batch.
 func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: %s got input width %d", d.Name(), x.Cols))
 	}
+	wm := &Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
+	var out *Matrix
 	if train {
 		d.x = x
+		if d.out == nil || d.out.Rows != x.Rows {
+			d.out = NewMatrix(x.Rows, d.Out)
+		}
+		out = MulInto(d.out, x, wm)
+	} else {
+		out = Mul(x, wm)
 	}
-	wm := &Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
-	out := Mul(x, wm)
 	out.AddRowVector(d.b.W)
 	return out
 }

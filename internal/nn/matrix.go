@@ -92,23 +92,59 @@ func parallelRows(rows int, work int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// Kernel blocking parameters. mulKBlock rows of B (mulKBlock·Cols
+// float64s) form the panel a Mul worker streams repeatedly; at 128
+// columns a 256-row panel is 256 KiB — L2-resident on everything we
+// target. mulJBlock bounds the B-row panel MulNT reuses across A rows.
+const (
+	mulKBlock = 256
+	mulJBlock = 128
+)
+
 // Mul returns A·B. A is n×k, B is k×m.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: Mul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	return MulInto(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// MulInto computes A·B into out (which must be a.Rows×b.Cols) and
+// returns it, letting hot loops reuse one output buffer instead of
+// allocating per call. The kernel is cache-blocked over k: each worker
+// sweeps a mulKBlock-row panel of B across all of its output rows
+// before moving to the next panel, so B stays resident even when the
+// full weight matrix (e.g. the 8 MiB 1024×1024 layers of MLP III)
+// overflows L2. Rows of A equal to zero are skipped entirely, which
+// roughly halves the work on the 0/1 difference-bit input layer.
+func MulInto(out, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MulInto shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MulInto output is %d×%d, want %d×%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
+		for kb := 0; kb < a.Cols; kb += mulKBlock {
+			ke := kb + mulKBlock
+			if ke > a.Cols {
+				ke = a.Cols
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*a.Cols+kb : i*a.Cols+ke]
+				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for kk, av := range arow {
+					if av == 0 {
+						continue
+					}
+					k := kb + kk
+					brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
 				}
 			}
 		}
@@ -185,17 +221,47 @@ func MulNT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MulNT shape mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Rows)
+	return MulNTInto(NewMatrix(a.Rows, b.Rows), a, b)
+}
+
+// MulNTInto computes A·Bᵀ into out (which must be a.Rows×b.Rows) and
+// returns it. B is row-major, so its rows are already the packed
+// columns of Bᵀ; the kernel blocks over those rows (mulJBlock at a
+// time) so the panel being dotted stays cache-resident across every
+// row of A, and unrolls the dot product four-wide.
+func MulNTInto(out, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MulNTInto shape mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MulNTInto output is %d×%d, want %d×%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	k := a.Cols
+	k4 := k &^ 3
 	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-				s := 0.0
-				for k, av := range arow {
-					s += av * brow[k]
+		for jb := 0; jb < b.Rows; jb += mulJBlock {
+			je := jb + mulJBlock
+			if je > b.Rows {
+				je = b.Rows
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j := jb; j < je; j++ {
+					brow := b.Data[j*k : (j+1)*k]
+					var s0, s1, s2, s3 float64
+					for p := 0; p < k4; p += 4 {
+						s0 += arow[p] * brow[p]
+						s1 += arow[p+1] * brow[p+1]
+						s2 += arow[p+2] * brow[p+2]
+						s3 += arow[p+3] * brow[p+3]
+					}
+					s := s0 + s1 + s2 + s3
+					for p := k4; p < k; p++ {
+						s += arow[p] * brow[p]
+					}
+					orow[j] = s
 				}
-				out.Data[i*out.Cols+j] = s
 			}
 		}
 	})

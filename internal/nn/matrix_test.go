@@ -177,3 +177,70 @@ func BenchmarkMul128x1024(b *testing.B) {
 		Mul(a, w)
 	}
 }
+
+func TestMulBlockedSpansKPanels(t *testing.T) {
+	// k > mulKBlock exercises the panel loop of the blocked kernel,
+	// including a ragged final panel.
+	r := prng.New(7)
+	for _, k := range []int{mulKBlock - 1, mulKBlock, mulKBlock + 1, 2*mulKBlock + 37} {
+		a := randMatrix(r, 9, k)
+		b := randMatrix(r, k, 23)
+		if !Equalish(Mul(a, b), naiveMul(a, b), 1e-8) {
+			t.Fatalf("blocked Mul mismatch at k=%d", k)
+		}
+	}
+}
+
+func TestMulNTBlockedSpansJPanels(t *testing.T) {
+	// b.Rows > mulJBlock exercises the panel loop; odd k exercises the
+	// unrolled dot product's remainder.
+	r := prng.New(8)
+	for _, m := range []int{mulJBlock - 1, mulJBlock, mulJBlock + 1, 2*mulJBlock + 5} {
+		a := randMatrix(r, 7, 33)
+		b := randMatrix(r, m, 33)
+		if !Equalish(MulNT(a, b), naiveMul(a, transpose(b)), 1e-9) {
+			t.Fatalf("blocked MulNT mismatch at m=%d", m)
+		}
+	}
+}
+
+func TestMulIntoReusesBuffer(t *testing.T) {
+	r := prng.New(9)
+	a := randMatrix(r, 5, 12)
+	b := randMatrix(r, 12, 7)
+	out := NewMatrix(5, 7)
+	for i := range out.Data {
+		out.Data[i] = 99 // stale contents must be overwritten, not accumulated
+	}
+	if got := MulInto(out, a, b); got != out {
+		t.Fatal("MulInto did not return its destination")
+	}
+	if !Equalish(out, naiveMul(a, b), 1e-9) {
+		t.Fatal("MulInto result polluted by stale buffer contents")
+	}
+	// Second use of the same buffer with different operands.
+	a2 := randMatrix(r, 5, 12)
+	MulInto(out, a2, b)
+	if !Equalish(out, naiveMul(a2, b), 1e-9) {
+		t.Fatal("MulInto buffer reuse produced a wrong product")
+	}
+}
+
+func TestMulIntoShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MulInto(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(4, 2)) },
+		func() { MulInto(NewMatrix(3, 2), NewMatrix(2, 3), NewMatrix(3, 2)) },
+		func() { MulNTInto(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 4)) },
+		func() { MulNTInto(NewMatrix(2, 5), NewMatrix(2, 3), NewMatrix(4, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("shape mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+

@@ -176,6 +176,14 @@ func (n *Network) Fit(x *Matrix, y []int, cfg FitConfig) (*History, error) {
 	}
 	bx := NewMatrix(bs, x.Cols)
 	by := make([]int, bs)
+	// The trailing partial batch has the same size every epoch; keep a
+	// second scratch pair for it instead of reallocating per epoch.
+	var pbx *Matrix
+	var pby []int
+	if rem := x.Rows % bs; rem != 0 {
+		pbx = NewMatrix(rem, x.Cols)
+		pby = make([]int, rem)
+	}
 
 	if cfg.LRSchedule != nil {
 		if _, ok := opt.(LRScheduler); !ok {
@@ -197,8 +205,8 @@ func (n *Network) Fit(x *Matrix, y []int, cfg FitConfig) (*History, error) {
 			batchX := bx
 			batchY := by
 			if m != bs {
-				batchX = NewMatrix(m, x.Cols)
-				batchY = make([]int, m)
+				batchX = pbx
+				batchY = pby
 			}
 			for k := 0; k < m; k++ {
 				src := order[start+k]

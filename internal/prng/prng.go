@@ -155,6 +155,37 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// NewStream returns a generator for the stream'th substream of the
+// given seed. Unlike Split, the derivation is positional: stream i of a
+// seed is the same generator no matter how many other streams were
+// created, in what order, or on which goroutine. This is the
+// determinism primitive behind parallel data generation — shard i of a
+// sharded computation draws from NewStream(base, i) and produces
+// byte-identical output regardless of how shards are scheduled across
+// workers.
+func NewStream(seed, stream uint64) *Rand {
+	r := &Rand{}
+	r.SeedStream(seed, stream)
+	return r
+}
+
+// SeedStream reinitializes the receiver in place to the state
+// NewStream(seed, stream) would produce. It lets a worker iterate many
+// substreams without allocating a generator per stream.
+func (r *Rand) SeedStream(seed, stream uint64) {
+	// Mix seed and stream index through two independent SplitMix64
+	// chains (distinct increments via the xor constants) so that
+	// neighbouring stream indices land in uncorrelated xoshiro states.
+	a := seed
+	b := stream ^ 0xd1b54a32d192ed03
+	for i := range r.s {
+		r.s[i] = splitMix64(&a) ^ rotl64(splitMix64(&b), 31)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 // Perm returns a uniformly random permutation of [0, n) as a slice,
 // using the Fisher–Yates shuffle.
 func (r *Rand) Perm(n int) []int {

@@ -139,6 +139,17 @@ func (s *LinearSVM) Predict(x []float64) int {
 	return best
 }
 
+// PredictBatch classifies many samples. The per-sample work is one
+// dense Classes×Dim product, so the batch path is a straight loop; it
+// exists to satisfy the core batched-inference contract.
+func (s *LinearSVM) PredictBatch(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = s.Predict(row)
+	}
+	return out
+}
+
 // Name identifies the classifier.
 func (s *LinearSVM) Name() string { return "linear-svm" }
 
@@ -285,6 +296,30 @@ func (l *Logistic) Predict(x []float64) int {
 		}
 	}
 	return best
+}
+
+// PredictBatch classifies many samples, reusing one probability
+// scratch buffer across the whole batch.
+func (l *Logistic) PredictBatch(x [][]float64) []int {
+	if l.w == nil {
+		panic(fmt.Errorf("svm: model not trained"))
+	}
+	out := make([]int, len(x))
+	probs := make([]float64, l.Classes)
+	for i, row := range x {
+		if len(row) != l.Dim {
+			panic(fmt.Errorf("svm: sample has %d features, want %d", len(row), l.Dim))
+		}
+		l.probsInto(row, probs)
+		best, bestV := 0, math.Inf(-1)
+		for c, v := range probs {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[i] = best
+	}
+	return out
 }
 
 // Name identifies the classifier.
