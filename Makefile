@@ -1,7 +1,13 @@
-# Tier-1 verify: build, vet, tests, and race tests on the concurrent
-# packages (see scripts/check.sh).
+# Tier-1 verify: build, vet, tests, race tests on the concurrent
+# packages, the testkit conformance suite, a fuzz smoke, and coverage
+# floors (see scripts/check.sh). CHECK_FUZZ=0 skips the fuzz smoke.
 check:
 	./scripts/check.sh
+
+# Conformance suite only: KATs for all five primitives plus
+# sampled-vs-exact DP cross-validation, uncached.
+conformance:
+	go test -count=1 -v ./internal/testkit/
 
 # Paper-table benchmarks; BENCH_*.json trajectories come from these.
 bench:
@@ -12,4 +18,4 @@ bench:
 bench-perf:
 	go test . -run xxx -bench 'GenerateDataset|PredictBatch|MatMul|OracleGameOnline' -benchtime 3x
 
-.PHONY: check bench bench-perf
+.PHONY: check conformance bench bench-perf

@@ -1,0 +1,85 @@
+package bits
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzToFloatsRoundTrip: packing bytes to the LSB-first float encoding
+// and back must be lossless for arbitrary input, every float must be
+// exactly 0 or 1, and the length contract must hold. This is the
+// feature-vector codec every scenario feeds the network through, so a
+// single bit error here corrupts all training data.
+func FuzzToFloatsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff})
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fl := ToFloats(nil, b)
+		if len(fl) != 8*len(b) {
+			t.Fatalf("ToFloats(%d bytes) has %d floats", len(b), len(fl))
+		}
+		for i, x := range fl {
+			if x != 0 && x != 1 {
+				t.Fatalf("float %d is %v, want 0 or 1", i, x)
+			}
+			if float64(Bit(b, i)) != x {
+				t.Fatalf("float %d disagrees with Bit: %v vs %d", i, x, Bit(b, i))
+			}
+		}
+		back := FloatsToBytes(fl)
+		if !bytes.Equal(back, b) && !(len(b) == 0 && len(back) == 0) {
+			t.Fatalf("round-trip %x -> %x", b, back)
+		}
+	})
+}
+
+// FuzzHexRoundTrip: Hex then FromHex must reproduce the input, and
+// FromHex must never panic on arbitrary strings.
+func FuzzHexRoundTrip(f *testing.F) {
+	f.Add([]byte{}, "")
+	f.Add([]byte{0x01, 0x23}, "0123")
+	f.Add([]byte{0xff}, "zz")
+	f.Add([]byte{0x00}, "0")
+	f.Fuzz(func(t *testing.T, b []byte, s string) {
+		got, err := FromHex(Hex(b))
+		if err != nil {
+			t.Fatalf("FromHex(Hex(%x)): %v", b, err)
+		}
+		if !bytes.Equal(got, b) && !(len(b) == 0 && len(got) == 0) {
+			t.Fatalf("round-trip %x -> %x", b, got)
+		}
+		// Arbitrary strings: decode must not panic, and on success the
+		// re-encoding must normalize back to lowercase hex of itself.
+		if dec, err := FromHex(s); err == nil {
+			if _, err := FromHex(Hex(dec)); err != nil {
+				t.Fatalf("re-encoding of decoded %q failed: %v", s, err)
+			}
+		}
+	})
+}
+
+// FuzzBitOps: SetBit/FlipBit/Bit agree with each other for in-range
+// indices on arbitrary strings.
+func FuzzBitOps(f *testing.F) {
+	f.Add([]byte{0x00}, uint(0))
+	f.Add([]byte{0xff, 0x10}, uint(11))
+	f.Fuzz(func(t *testing.T, b []byte, iRaw uint) {
+		if len(b) == 0 {
+			return
+		}
+		i := int(iRaw % uint(8*len(b)))
+		c := append([]byte(nil), b...)
+		orig := Bit(c, i)
+		FlipBit(c, i)
+		if Bit(c, i) != 1-orig {
+			t.Fatalf("FlipBit did not flip bit %d", i)
+		}
+		SetBit(c, i, orig)
+		if !bytes.Equal(c, b) {
+			t.Fatalf("SetBit did not restore: %x vs %x", c, b)
+		}
+	})
+}

@@ -41,8 +41,15 @@ func GenerateDataset(s Scenario, perClass int, r *prng.Rand) *Dataset {
 // and generator state, regardless of worker count; see the
 // determinism contract on GenerateDataset.
 func GenerateDatasetParallel(s Scenario, perClass int, r *prng.Rand, workers int) *Dataset {
+	if perClass < 0 {
+		perClass = 0
+	}
 	t := s.Classes()
 	n := perClass * t
+	// The base seed is drawn unconditionally — even for an empty
+	// dataset — so generator-state consumption is independent of
+	// perClass and callers sequencing multiple generations stay
+	// reproducible.
 	base := r.Uint64()
 	d := &Dataset{
 		X: make([][]float64, n),

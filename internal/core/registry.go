@@ -1,0 +1,29 @@
+package core
+
+import "fmt"
+
+// RegisteredScenarios returns one representative instance of every
+// scenario family in the repository, at the round-reduced
+// configurations the paper's experiments run (Table 2). The
+// conformance suite iterates this list so that adding a new target
+// automatically subjects it to the Scenario contract checks; register
+// new families here.
+func RegisteredScenarios() []Scenario {
+	mk := func(s Scenario, err error) Scenario {
+		if err != nil {
+			panic(fmt.Sprintf("core: registered scenario construction failed: %v", err))
+		}
+		return s
+	}
+	return []Scenario{
+		mk(sc(NewGimliHashScenario(8))),
+		mk(sc(NewGimliCipherScenario(8))),
+		mk(sc(NewSpeckScenario(7))),
+		mk(sc(NewGift64Scenario(4))),
+		mk(sc(NewSalsaScenario(8))),
+		mk(sc(NewTriviumScenario(576))),
+	}
+}
+
+// sc adapts a concrete (*T, error) constructor result to (Scenario, error).
+func sc[S Scenario](s S, err error) (Scenario, error) { return s, err }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Seed-stability regression: small-scale distinguisher accuracies under
+// seed 2020 are pinned to 4 decimal places. The whole pipeline —
+// dataset generation, weight initialization, SGD order, batched
+// inference — is deterministic by construction, so any drift here means
+// a numeric change in internal/nn or internal/core (reordered float
+// accumulation, a changed initializer, a PRNG stream shift) that would
+// silently alter every reported accuracy in the tables. If a change is
+// intentional, re-pin these constants in the same commit and say why in
+// its message.
+
+const seedStabilitySeed = 2020
+
+func seedStabilityScale() Scale {
+	return Scale{TrainPerClass: 1024, ValPerClass: 512, Epochs: 2, Hidden: 32}
+}
+
+func pinAcc(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) >= 0.00005 {
+		t.Errorf("%s accuracy %.10f drifted from pinned %.4f", name, got, want)
+	}
+}
+
+// TestSeedStabilityGimliHash8r pins the 8-round GIMLI-HASH cell of
+// Table 2 at probe scale. At this budget the cell may legitimately
+// fail the significance gate — the pinned value is the measured
+// accuracy, not a claim of a working distinguisher.
+func TestSeedStabilityGimliHash8r(t *testing.T) {
+	row, err := Table2Cell("gimli-hash", 8, seedStabilityScale(), seedStabilitySeed)
+	if err != nil && row == (Table2Row{}) {
+		t.Fatalf("cell failed outright: %v", err)
+	}
+	pinAcc(t, "gimli-hash-8r val", row.Accuracy, 0.5225)
+	pinAcc(t, "gimli-hash-8r train", row.TrainAcc, 0.5342)
+}
+
+// TestSeedStabilitySpeck7r pins a 7-round SPECK-32/64 real-vs-random
+// distinguisher at the same scale.
+func TestSeedStabilitySpeck7r(t *testing.T) {
+	s, err := core.NewSpeckScenario(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 32, seedStabilitySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Epochs = 2
+	d, err := core.Train(s, c, core.TrainConfig{
+		TrainPerClass: 1024, ValPerClass: 512, Seed: seedStabilitySeed,
+	})
+	if d == nil {
+		t.Fatalf("offline phase failed outright: %v", err)
+	}
+	pinAcc(t, "speck-7r val", d.Accuracy, 0.5098)
+	pinAcc(t, "speck-7r train", d.TrainAccuracy, 0.5117)
+}
+
+// TestSeedStabilityIsRunToRunStable: the pin is meaningful only if the
+// pipeline is actually deterministic — two runs in the same process
+// must agree bit-for-bit, not just to 4 decimals.
+func TestSeedStabilityIsRunToRunStable(t *testing.T) {
+	a, errA := Table2Cell("gimli-hash", 8, seedStabilityScale(), seedStabilitySeed)
+	b, errB := Table2Cell("gimli-hash", 8, seedStabilityScale(), seedStabilitySeed)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("runs disagree on error: %v vs %v", errA, errB)
+	}
+	if a.Accuracy != b.Accuracy || a.TrainAcc != b.TrainAcc {
+		t.Fatalf("same seed, different accuracies: %.10f/%.10f vs %.10f/%.10f",
+			a.Accuracy, a.TrainAcc, b.Accuracy, b.TrainAcc)
+	}
+}

@@ -1,0 +1,200 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/gimli"
+	"repro/internal/prng"
+	"repro/internal/salsa"
+	"repro/internal/speck"
+)
+
+// Cipher-state generators. These are ordinary Gens over the concrete
+// state/key types of the primitive packages, so round-trip and
+// conformance properties read naturally at the call site. The test
+// files that use them must live in external test packages
+// (package foo_test) — testkit imports the primitives, so an
+// in-package test importing testkit would be an import cycle.
+
+// GimliState generates uniform 384-bit GIMLI states. Shrinking clears
+// whole words, then single bits of the lowest nonzero word, homing in
+// on the state bit that triggers a failure.
+func GimliState() Gen[gimli.State] {
+	return Gen[gimli.State]{
+		Name: "gimli.State",
+		Generate: func(r *prng.Rand) gimli.State {
+			var s gimli.State
+			for i := range s {
+				s[i] = r.Uint32()
+			}
+			return s
+		},
+		Shrink: func(v gimli.State) []gimli.State {
+			var out []gimli.State
+			zero := gimli.State{}
+			if v != zero {
+				out = append(out, zero)
+			}
+			for i, w := range v {
+				if w != 0 {
+					c := v
+					c[i] = 0
+					out = append(out, c)
+				}
+			}
+			for i, w := range v {
+				if w == 0 {
+					continue
+				}
+				for k := 0; k < 32; k++ {
+					if w>>k&1 == 1 {
+						c := v
+						c[i] &^= 1 << k
+						out = append(out, c)
+					}
+				}
+				break
+			}
+			return out
+		},
+		Format: func(v gimli.State) string { return fmt.Sprintf("%08x", [12]uint32(v)) },
+	}
+}
+
+// SalsaState generates uniform 512-bit Salsa20 states with word-wise
+// shrinking.
+func SalsaState() Gen[salsa.State] {
+	return Gen[salsa.State]{
+		Name: "salsa.State",
+		Generate: func(r *prng.Rand) salsa.State {
+			var s salsa.State
+			for i := range s {
+				s[i] = r.Uint32()
+			}
+			return s
+		},
+		Shrink: func(v salsa.State) []salsa.State {
+			var out []salsa.State
+			zero := salsa.State{}
+			if v != zero {
+				out = append(out, zero)
+			}
+			for i, w := range v {
+				if w != 0 {
+					c := v
+					c[i] = 0
+					out = append(out, c)
+				}
+			}
+			return out
+		},
+		Format: func(v salsa.State) string { return fmt.Sprintf("%08x", [16]uint32(v)) },
+	}
+}
+
+// SpeckCase is one SPECK-32/64 round-trip instance: a key, a
+// plaintext block, and a round count.
+type SpeckCase struct {
+	Key    [speck.KeyWords]uint16
+	Block  speck.Block
+	Rounds int
+}
+
+// SpeckCases generates SPECK key/block/round triples covering every
+// round count in [0, 22]. Shrinking zeroes key and block words and
+// lowers the round count.
+func SpeckCases() Gen[SpeckCase] {
+	return Gen[SpeckCase]{
+		Name: "speck case",
+		Generate: func(r *prng.Rand) SpeckCase {
+			var c SpeckCase
+			for i := range c.Key {
+				c.Key[i] = r.Uint16()
+			}
+			c.Block = speck.Block{X: r.Uint16(), Y: r.Uint16()}
+			c.Rounds = r.Intn(speck.Rounds + 1)
+			return c
+		},
+		Shrink: func(v SpeckCase) []SpeckCase {
+			var out []SpeckCase
+			if v.Rounds > 0 {
+				c := v
+				c.Rounds--
+				out = append(out, c)
+			}
+			for i, w := range v.Key {
+				if w != 0 {
+					c := v
+					c.Key[i] = 0
+					out = append(out, c)
+				}
+			}
+			if v.Block.X != 0 {
+				c := v
+				c.Block.X = 0
+				out = append(out, c)
+			}
+			if v.Block.Y != 0 {
+				c := v
+				c.Block.Y = 0
+				out = append(out, c)
+			}
+			return out
+		},
+		Format: func(v SpeckCase) string {
+			return fmt.Sprintf("key=%04x block=(%04x,%04x) rounds=%d", v.Key, v.Block.X, v.Block.Y, v.Rounds)
+		},
+	}
+}
+
+// Gift64Case is one GIFT-64 round-trip instance: a 128-bit key, a
+// 64-bit plaintext, and a round count.
+type Gift64Case struct {
+	Key    [8]uint16
+	Plain  uint64
+	Rounds int
+}
+
+// Gift64Cases generates GIFT-64 key/plaintext/round triples covering
+// every round count in [0, 28].
+func Gift64Cases(maxRounds int) Gen[Gift64Case] {
+	return Gen[Gift64Case]{
+		Name: "gift64 case",
+		Generate: func(r *prng.Rand) Gift64Case {
+			var c Gift64Case
+			for i := range c.Key {
+				c.Key[i] = r.Uint16()
+			}
+			c.Plain = r.Uint64()
+			c.Rounds = r.Intn(maxRounds + 1)
+			return c
+		},
+		Shrink: func(v Gift64Case) []Gift64Case {
+			var out []Gift64Case
+			if v.Rounds > 0 {
+				c := v
+				c.Rounds--
+				out = append(out, c)
+			}
+			for i, w := range v.Key {
+				if w != 0 {
+					c := v
+					c.Key[i] = 0
+					out = append(out, c)
+				}
+			}
+			if v.Plain != 0 {
+				c := v
+				c.Plain = 0
+				out = append(out, c)
+				c = v
+				c.Plain >>= 1
+				out = append(out, c)
+			}
+			return out
+		},
+		Format: func(v Gift64Case) string {
+			return fmt.Sprintf("key=%04x plain=%#016x rounds=%d", v.Key, v.Plain, v.Rounds)
+		},
+	}
+}

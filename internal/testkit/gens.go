@@ -1,0 +1,211 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+// This file provides the generic generators: integers, byte strings /
+// bit-vectors, and float matrices. Cipher-state generators live in
+// ciphers.go.
+//
+// Shrinking conventions: integers shrink toward zero (halving, then
+// decrementing), byte strings and bit-vectors shrink by zeroing whole
+// bytes and then clearing single bits, floats shrink by zeroing and
+// halving entries. Every shrinker strictly reduces a finite measure
+// (popcount, magnitude, nonzero count), so shrink chains terminate.
+
+// Uint64 generates uniform 64-bit values.
+func Uint64() Gen[uint64] {
+	return Gen[uint64]{
+		Name:     "uint64",
+		Generate: func(r *prng.Rand) uint64 { return r.Uint64() },
+		Shrink:   shrinkUint64,
+		Format:   func(v uint64) string { return fmt.Sprintf("%#016x", v) },
+	}
+}
+
+func shrinkUint64(v uint64) []uint64 {
+	if v == 0 {
+		return nil
+	}
+	out := []uint64{0, v >> 1, v - 1}
+	// Clearing single set bits often isolates the failing bit position.
+	for k := 63; k >= 0; k-- {
+		if v>>k&1 == 1 {
+			out = append(out, v&^(1<<k))
+		}
+	}
+	return dedup(out, v)
+}
+
+// Uint32 generates uniform 32-bit values.
+func Uint32() Gen[uint32] {
+	return Gen[uint32]{
+		Name:     "uint32",
+		Generate: func(r *prng.Rand) uint32 { return r.Uint32() },
+		Shrink: func(v uint32) []uint32 {
+			var out []uint32
+			for _, w := range shrinkUint64(uint64(v)) {
+				out = append(out, uint32(w))
+			}
+			return out
+		},
+		Format: func(v uint32) string { return fmt.Sprintf("%#08x", v) },
+	}
+}
+
+// IntRange generates uniform ints in [lo, hi], shrinking toward lo.
+// It panics if hi < lo.
+func IntRange(lo, hi int) Gen[int] {
+	if hi < lo {
+		panic(fmt.Sprintf("testkit: IntRange [%d, %d] is empty", lo, hi))
+	}
+	return Gen[int]{
+		Name:     fmt.Sprintf("int[%d,%d]", lo, hi),
+		Generate: func(r *prng.Rand) int { return lo + r.Intn(hi-lo+1) },
+		Shrink: func(v int) []int {
+			if v == lo {
+				return nil
+			}
+			mid := lo + (v-lo)/2
+			out := []int{lo, mid, v - 1}
+			return dedup(out, v)
+		},
+	}
+}
+
+// Bytes generates uniform byte strings of length n. A bit-vector of k
+// bits is Bytes((k+7)/8) under the repository's LSB-first convention.
+func Bytes(n int) Gen[[]byte] {
+	return Gen[[]byte]{
+		Name:     fmt.Sprintf("bytes[%d]", n),
+		Generate: func(r *prng.Rand) []byte { return r.Bytes(n) },
+		Shrink:   ShrinkBytes,
+		Format:   func(v []byte) string { return bits.Hex(v) },
+	}
+}
+
+// ShrinkBytes proposes byte strings with fewer set bits: first the
+// all-zero string, then each nonzero byte zeroed, then each set bit of
+// the lowest nonzero byte cleared. Exported so cipher-state generators
+// in this package and composite generators in tests can reuse it.
+func ShrinkBytes(v []byte) [][]byte {
+	if bits.PopCount(v) == 0 {
+		return nil
+	}
+	var out [][]byte
+	out = append(out, make([]byte, len(v)))
+	for i, b := range v {
+		if b != 0 {
+			c := append([]byte(nil), v...)
+			c[i] = 0
+			out = append(out, c)
+		}
+	}
+	for i, b := range v {
+		if b == 0 {
+			continue
+		}
+		for k := 0; k < 8; k++ {
+			if b>>k&1 == 1 {
+				c := append([]byte(nil), v...)
+				c[i] &^= 1 << k
+				out = append(out, c)
+			}
+		}
+		break
+	}
+	return out
+}
+
+// Floats generates rows×cols matrices (as row slices, the layout
+// core.Dataset and nn.FromRows use) of values drawn from scale·N(0,1).
+// Shrinking zeroes rows, then halves the largest-magnitude entry.
+func Floats(rows, cols int, scale float64) Gen[[][]float64] {
+	return Gen[[][]float64]{
+		Name: fmt.Sprintf("floats[%dx%d]", rows, cols),
+		Generate: func(r *prng.Rand) [][]float64 {
+			m := make([][]float64, rows)
+			for i := range m {
+				m[i] = make([]float64, cols)
+				for j := range m[i] {
+					m[i][j] = scale * r.NormFloat64()
+				}
+			}
+			return m
+		},
+		Shrink: shrinkFloats,
+	}
+}
+
+func shrinkFloats(v [][]float64) [][][]float64 {
+	var out [][][]float64
+	cloneWithout := func(ri int) [][]float64 {
+		m := make([][]float64, len(v))
+		for i := range v {
+			m[i] = append([]float64(nil), v[i]...)
+		}
+		for j := range m[ri] {
+			m[ri][j] = 0
+		}
+		return m
+	}
+	for i, row := range v {
+		nonzero := false
+		for _, x := range row {
+			if x != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			out = append(out, cloneWithout(i))
+		}
+	}
+	// Halve the largest-magnitude entry (rounding tiny values to zero
+	// so the chain terminates).
+	bi, bj, best := -1, -1, 0.0
+	for i, row := range v {
+		for j, x := range row {
+			if a := abs(x); a > best {
+				bi, bj, best = i, j, a
+			}
+		}
+	}
+	if bi >= 0 {
+		m := make([][]float64, len(v))
+		for i := range v {
+			m[i] = append([]float64(nil), v[i]...)
+		}
+		m[bi][bj] /= 2
+		if abs(m[bi][bj]) < 1e-9 {
+			m[bi][bj] = 0
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// dedup removes duplicates and the original value from shrink
+// candidates, preserving order.
+func dedup[V comparable](cands []V, orig V) []V {
+	seen := map[V]bool{orig: true}
+	out := cands[:0]
+	for _, c := range cands {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

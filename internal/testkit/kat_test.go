@@ -1,0 +1,88 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStandardKATs is the conformance suite: every pinned and official
+// vector for all five primitives must pass through the one harness.
+func TestStandardKATs(t *testing.T) {
+	if failed := RunKATs(t, StandardKATs()); failed != 0 {
+		t.Fatalf("%d conformance vectors failed", failed)
+	}
+}
+
+// TestStandardKATsCoverAllPrimitives: the suite must exercise all five
+// paper targets; losing one (e.g. in a refactor) is itself a failure.
+func TestStandardKATsCoverAllPrimitives(t *testing.T) {
+	want := []string{"gimli", "speck", "gift", "salsa", "trivium"}
+	have := map[string]bool{}
+	for _, k := range StandardKATs() {
+		have[k.Primitive] = true
+	}
+	for _, p := range want {
+		if !have[p] {
+			t.Errorf("conformance suite has no vectors for %s", p)
+		}
+	}
+}
+
+// TestOfficialGimliVectorPresent: the acceptance-criteria vector — the
+// designers' full-permutation KAT — must be in the suite and marked
+// official.
+func TestOfficialGimliVectorPresent(t *testing.T) {
+	for _, k := range StandardKATs() {
+		if k.Primitive == "gimli" && k.Name == "permutation-24r" {
+			if !strings.HasPrefix(k.Source, "official") {
+				t.Fatalf("gimli permutation vector not marked official: %q", k.Source)
+			}
+			return
+		}
+	}
+	t.Fatal("official gimli permutation vector missing from the suite")
+}
+
+// TestRunKATsDetectsCorruption: a flipped bit in an expected output
+// must be caught and reported with the got/want hex context.
+func TestRunKATsDetectsCorruption(t *testing.T) {
+	kats := StandardKATs()
+	// Corrupt the last hex digit of every Want in a copy of the suite.
+	for i := range kats {
+		w := kats[i].Want
+		if w == "" {
+			continue
+		}
+		last := w[len(w)-1]
+		repl := byte('0')
+		if last == '0' {
+			repl = '1'
+		}
+		kats[i].Want = w[:len(w)-1] + string(repl)
+	}
+	rec := &Recorder{}
+	failed := RunKATs(rec, kats)
+	if failed != len(kats) {
+		t.Fatalf("corrupted suite: %d/%d vectors caught", failed, len(kats))
+	}
+	for _, msg := range rec.Failures {
+		if !strings.Contains(msg, "mismatch") || !strings.Contains(msg, "want:") {
+			t.Fatalf("failure report lacks got/want context: %s", msg)
+		}
+	}
+}
+
+// TestRunKATsRejectsBadHex: malformed vectors fail loudly instead of
+// silently comparing empty slices.
+func TestRunKATsRejectsBadHex(t *testing.T) {
+	rec := &Recorder{}
+	failed := RunKATs(rec, []KAT{
+		{Primitive: "x", Name: "bad-in", In: "zz", Want: "00",
+			Apply: func(in []byte) ([]byte, error) { return in, nil }},
+		{Primitive: "x", Name: "bad-want", In: "00", Want: "zz",
+			Apply: func(in []byte) ([]byte, error) { return in, nil }},
+	})
+	if failed != 2 || len(rec.Failures) != 2 {
+		t.Fatalf("bad hex not rejected: failed=%d reports=%v", failed, rec.Failures)
+	}
+}

@@ -1,0 +1,71 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prng"
+)
+
+// ScenarioDraw is one sampled evaluation of a core.Scenario: which
+// class to sample (Classes() selects RandomSample) and the PRNG seed
+// the sample is drawn under.
+type ScenarioDraw struct {
+	Class int
+	Seed  uint64
+}
+
+// ScenarioDraws generates draws covering every class of s plus the
+// random baseline. Shrinking lowers the class index and zeroes seed
+// bits, so a contract violation reports the smallest class and seed
+// that trigger it.
+func ScenarioDraws(s core.Scenario) Gen[ScenarioDraw] {
+	return Gen[ScenarioDraw]{
+		Name: fmt.Sprintf("draw(%s)", s.Name()),
+		Generate: func(r *prng.Rand) ScenarioDraw {
+			return ScenarioDraw{Class: r.Intn(s.Classes() + 1), Seed: r.Uint64()}
+		},
+		Shrink: func(v ScenarioDraw) []ScenarioDraw {
+			var out []ScenarioDraw
+			if v.Class > 0 {
+				out = append(out, ScenarioDraw{Class: v.Class - 1, Seed: v.Seed})
+			}
+			for _, s := range shrinkUint64(v.Seed) {
+				out = append(out, ScenarioDraw{Class: v.Class, Seed: s})
+			}
+			return out
+		},
+		Format: func(v ScenarioDraw) string {
+			return fmt.Sprintf("class=%d seed=%#x", v.Class, v.Seed)
+		},
+	}
+}
+
+// CheckScenario verifies the core.Scenario contract for s under the
+// property runner: Sample and RandomSample must return feature vectors
+// of exactly FeatureLen entries, every entry in {0, 1}. The draw with
+// Class == Classes() exercises RandomSample; the sample itself is
+// drawn from prng.NewStream(draw.Seed, 0) so failures replay from the
+// printed counterexample.
+func CheckScenario(t T, s core.Scenario, cfg Config) *Failure[ScenarioDraw] {
+	t.Helper()
+	prop := func(d ScenarioDraw) error {
+		r := prng.NewStream(d.Seed, 0)
+		var vec []float64
+		if d.Class == s.Classes() {
+			vec = s.RandomSample(r)
+		} else {
+			vec = s.Sample(r, d.Class)
+		}
+		if len(vec) != s.FeatureLen() {
+			return fmt.Errorf("feature vector has %d entries, FeatureLen is %d", len(vec), s.FeatureLen())
+		}
+		for i, x := range vec {
+			if x != 0 && x != 1 {
+				return fmt.Errorf("feature %d is %v, want 0 or 1", i, x)
+			}
+		}
+		return nil
+	}
+	return CheckConfig(t, fmt.Sprintf("scenario-contract/%s", s.Name()), ScenarioDraws(s), prop, cfg)
+}

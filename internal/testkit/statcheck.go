@@ -1,0 +1,123 @@
+package testkit
+
+import (
+	"math"
+
+	"repro/internal/gift"
+	"repro/internal/prng"
+	"repro/internal/stats"
+	"repro/internal/trails"
+)
+
+// Statistical assertions: sampled probabilities checked against exact
+// values at binomial confidence bounds. A sampled estimate p̂ of a true
+// probability p over n trials has standard deviation
+// stats.BinomialSigma(p, n); asserting |p̂ − p| ≤ kσ turns "the numbers
+// look close" into a test with a known false-positive rate (k = 4 ↦
+// ~6·10⁻⁵ two-sided).
+
+// DefaultSigmas is the bound the conformance suite runs at.
+const DefaultSigmas = 4.0
+
+// AssertBinomial checks a sampled success fraction against the exact
+// probability p at a sigmas-σ binomial bound over n trials. When p is
+// 0 or 1 the distribution is degenerate (σ = 0) and the observation
+// must match exactly. It reports failures through t and returns
+// whether the assertion held.
+func AssertBinomial(t T, name string, observed, p float64, n int, sigmas float64) bool {
+	t.Helper()
+	sigma := stats.BinomialSigma(p, n)
+	if sigma == 0 {
+		if observed != p {
+			t.Errorf("testkit: %s: observed %v but probability is degenerate at %v (n=%d)",
+				name, observed, p, n)
+			return false
+		}
+		return true
+	}
+	if diff := math.Abs(observed - p); diff > sigmas*sigma {
+		t.Errorf("testkit: %s: observed %.6f, exact %.6f, |Δ|=%.3g exceeds %.1fσ=%.3g (n=%d)",
+			name, observed, p, diff, sigmas, sigmas*sigma, n)
+		return false
+	}
+	return true
+}
+
+// DPCase is one sampled-vs-exact differential-probability check on the
+// GIMLI permutation: the input difference, the expected difference
+// after Rounds rounds, and the exact Equation-2 weight of the
+// connecting trail.
+type DPCase struct {
+	Name   string
+	Rounds int
+	Din    trails.Delta
+	Dout   trails.Delta
+	Weight float64 // exact trail weight; DP = 2^-Weight
+}
+
+// GimliTrailCases returns the 1–3-round cases built from the
+// constructive Table 1 trail. The weights are recomputed through
+// trails.ExactTrailWeight rather than hardcoded, so the cases stay
+// honest if the trail constants change.
+func GimliTrailCases() []DPCase {
+	full := []trails.Delta{
+		trails.TwoRoundTrailInput,
+		trails.OneRoundTrailOutput,
+		trails.TwoRoundTrailOutput,
+		trails.ThreeRoundTrailOutput,
+	}
+	names := []string{"gimli-1r", "gimli-2r", "gimli-3r"}
+	cases := make([]DPCase, 0, 3)
+	for rounds := 1; rounds <= 3; rounds++ {
+		prefix := full[:rounds+1]
+		w, ok := trails.ExactTrailWeight(prefix, 24)
+		if !ok {
+			panic("testkit: constructive GIMLI trail became impossible")
+		}
+		cases = append(cases, DPCase{
+			Name: names[rounds-1], Rounds: rounds,
+			Din: full[0], Dout: full[rounds], Weight: w,
+		})
+	}
+	return cases
+}
+
+// CrossValidateGimliDP samples each GimliTrailCase with `samples`
+// random states and asserts the sampled differential probability
+// against 2^-Weight at a sigmas-σ binomial bound. Case i samples from
+// prng.NewStream(seed, i), so a failure is reproducible from the seed
+// alone. It returns the number of failing cases.
+func CrossValidateGimliDP(t T, samples int, seed uint64, sigmas float64) int {
+	t.Helper()
+	failed := 0
+	for i, c := range GimliTrailCases() {
+		r := prng.NewStream(seed, uint64(i))
+		sampled := trails.EstimateDP(c.Din, c.Dout, c.Rounds, samples, r)
+		exact := math.Pow(2, -c.Weight)
+		if !AssertBinomial(t, c.Name, sampled, exact, samples, sigmas) {
+			failed++
+		}
+	}
+	return failed
+}
+
+// CrossValidateToyDP samples the §2.1 toy-cipher characteristic with
+// `samples` random inputs and asserts the sampled probability of the
+// full two-round differential against the exhaustively computed exact
+// value (4/256 for the paper characteristic — the probability
+// Equation 2's Markov estimate gets wrong, which is the paper's
+// motivating observation). Returns whether the assertion held.
+func CrossValidateToyDP(t T, c gift.Characteristic, samples int, seed uint64, sigmas float64) bool {
+	t.Helper()
+	exact := gift.Exhaustive(c).ExactProb
+	r := prng.NewStream(seed, 0)
+	hits := 0
+	for i := 0; i < samples; i++ {
+		v := r.Byte()
+		if gift.ToyEncrypt(v)^gift.ToyEncrypt(v^c.DY1) == c.DW2 {
+			hits++
+		}
+	}
+	sampled := float64(hits) / float64(samples)
+	return AssertBinomial(t, "toy-cipher", sampled, exact, samples, sigmas)
+}

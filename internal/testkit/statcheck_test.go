@@ -1,0 +1,82 @@
+package testkit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gift"
+)
+
+// TestGimliTrailCases: the constructive trail must yield exactly the
+// Table 1 weights 0, 0, 2 for 1–3 rounds.
+func TestGimliTrailCases(t *testing.T) {
+	cases := GimliTrailCases()
+	if len(cases) != 3 {
+		t.Fatalf("want 3 cases, got %d", len(cases))
+	}
+	want := []float64{0, 0, 2}
+	for i, c := range cases {
+		if c.Rounds != i+1 {
+			t.Errorf("case %d covers %d rounds", i, c.Rounds)
+		}
+		if c.Weight != want[i] {
+			t.Errorf("%s: weight %v, want %v", c.Name, c.Weight, want[i])
+		}
+	}
+}
+
+// TestCrossValidateGimliDP is the acceptance-criteria check: sampled
+// differential probabilities for gimli 1–3 rounds agree with the exact
+// trail weights at a 4σ binomial bound.
+func TestCrossValidateGimliDP(t *testing.T) {
+	if failed := CrossValidateGimliDP(t, 4096, 2020, DefaultSigmas); failed != 0 {
+		t.Fatalf("%d gimli DP cross-validations failed", failed)
+	}
+}
+
+// TestCrossValidateToyDP: the §2.1 toy-cipher characteristic sampled
+// against the exhaustive exact probability (4/256).
+func TestCrossValidateToyDP(t *testing.T) {
+	rep := gift.Exhaustive(gift.PaperCharacteristic)
+	if rep.ExactProb != 4.0/256 {
+		t.Fatalf("exhaustive exact probability is %v, want 4/256", rep.ExactProb)
+	}
+	if !CrossValidateToyDP(t, gift.PaperCharacteristic, 8192, 2020, DefaultSigmas) {
+		t.Fatal("toy cipher cross-validation failed")
+	}
+}
+
+// TestCrossValidateDeterministic: the same seed produces bit-identical
+// outcomes (no reliance on global PRNG state or iteration order).
+func TestCrossValidateDeterministic(t *testing.T) {
+	a, c := &Recorder{}, &Recorder{}
+	CrossValidateGimliDP(a, 512, 7, DefaultSigmas)
+	CrossValidateGimliDP(c, 512, 7, DefaultSigmas)
+	if len(a.Failures) != len(c.Failures) {
+		t.Fatalf("same seed, different outcomes: %v vs %v", a.Failures, c.Failures)
+	}
+}
+
+// TestAssertBinomialBounds: the assertion accepts deviations inside
+// the bound, rejects outside, and treats degenerate p exactly.
+func TestAssertBinomialBounds(t *testing.T) {
+	n := 10000
+	p := 0.25
+	sigma := math.Sqrt(p * (1 - p) / float64(n))
+	rec := &Recorder{}
+	if !AssertBinomial(rec, "inside", p+3*sigma, p, n, 4) {
+		t.Fatal("3σ deviation rejected at a 4σ bound")
+	}
+	if AssertBinomial(rec, "outside", p+5*sigma, p, n, 4) {
+		t.Fatal("5σ deviation accepted at a 4σ bound")
+	}
+	if !AssertBinomial(rec, "degenerate-ok", 1, 1, n, 4) {
+		t.Fatal("exact match of degenerate p=1 rejected")
+	}
+	if AssertBinomial(rec, "degenerate-bad", 0.9999, 1, n, 4) {
+		t.Fatal("deviation from degenerate p=1 accepted")
+	}
+	if len(rec.Failures) != 2 {
+		t.Fatalf("want 2 recorded failures, got %v", rec.Failures)
+	}
+}

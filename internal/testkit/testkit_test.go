@@ -1,0 +1,287 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+// TestCheckPassingProperty: a true property reports nothing.
+func TestCheckPassingProperty(t *testing.T) {
+	rec := &Recorder{}
+	f := Check(rec, "xor-self-cancels", Uint64(), func(v uint64) error {
+		if v^v != 0 {
+			return errors.New("xor broken")
+		}
+		return nil
+	})
+	if f != nil || rec.Failed() {
+		t.Fatalf("true property reported failure: %+v %v", f, rec.Failures)
+	}
+}
+
+// TestCheckDeterministic: the same seed yields the identical
+// counterexample, twice — and a different seed yields a different
+// (still failing) draw. The property is deliberately broken: it
+// rejects any value with bit 3 set.
+func TestCheckDeterministic(t *testing.T) {
+	broken := func(v uint64) error {
+		if v&0x8 != 0 {
+			return errors.New("bit 3 set")
+		}
+		return nil
+	}
+	run := func(seed uint64) *Failure[uint64] {
+		rec := &Recorder{}
+		f := CheckConfig(rec, "bit3", Uint64(), broken, Config{Seed: seed})
+		if f == nil || !rec.Failed() {
+			t.Fatalf("broken property not falsified under seed %#x", seed)
+		}
+		return f
+	}
+	a, b := run(1), run(1)
+	if a.Value != b.Value || a.Stream != b.Stream || a.Shrunk != b.Shrunk {
+		t.Fatalf("same seed, different counterexamples: %+v vs %+v", a, b)
+	}
+	c := run(2)
+	if c.Value == a.Value && c.Stream == a.Stream {
+		t.Fatalf("different seeds drew the identical failing iteration")
+	}
+}
+
+// TestCheckReplayFromReport: the (Seed, Stream) printed in a failure
+// report regenerates the identical counterexample with Count=1 — the
+// reproduction recipe the report tells the user to follow.
+func TestCheckReplayFromReport(t *testing.T) {
+	broken := func(v uint64) error {
+		if v&0x8 != 0 {
+			return errors.New("bit 3 set")
+		}
+		return nil
+	}
+	rec := &Recorder{}
+	orig := CheckConfig(rec, "bit3", Uint64(), broken, Config{Seed: 7})
+	if orig == nil {
+		t.Fatal("broken property not falsified")
+	}
+	replayRec := &Recorder{}
+	replay := CheckConfig(replayRec, "bit3", Uint64(), broken,
+		Config{Seed: orig.Seed, Start: orig.Stream, Count: 1})
+	if replay == nil {
+		t.Fatal("replay did not reproduce the failure")
+	}
+	if replay.Value != orig.Value || replay.Shrunk != orig.Shrunk {
+		t.Fatalf("replay drew %#x (shrunk %#x), original was %#x (shrunk %#x)",
+			replay.Value, replay.Shrunk, orig.Value, orig.Shrunk)
+	}
+	if !strings.Contains(rec.Failures[0], fmt.Sprintf("Start: %d", orig.Stream)) {
+		t.Fatalf("failure report does not contain the replay recipe: %s", rec.Failures[0])
+	}
+}
+
+// TestCheckShrinksToMinimal: the bit-3 property must shrink all the
+// way to the single-bit witness 0x8 — the smallest uint64 that
+// falsifies it — demonstrating that shrinking works end to end.
+func TestCheckShrinksToMinimal(t *testing.T) {
+	rec := &Recorder{}
+	f := Check(rec, "bit3", Uint64(), func(v uint64) error {
+		if v&0x8 != 0 {
+			return errors.New("bit 3 set")
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("broken property not falsified")
+	}
+	if f.Shrunk != 0x8 {
+		t.Fatalf("shrunk counterexample is %#x, want the minimal witness 0x8 (from %#x in %d steps)",
+			f.Shrunk, f.Value, f.ShrinkSteps)
+	}
+	if f.ShrinkSteps == 0 {
+		t.Fatal("no shrink steps recorded despite a shrinkable counterexample")
+	}
+	if f.ShrunkErr == nil {
+		t.Fatal("shrunk value carries no error")
+	}
+}
+
+// TestShrinkRespectsBudget: a pathological property that fails on
+// everything must stop after MaxShrink evaluations.
+func TestShrinkRespectsBudget(t *testing.T) {
+	evals := 0
+	rec := &Recorder{}
+	CheckConfig(rec, "always-fails", Uint64(), func(v uint64) error {
+		evals++
+		return errors.New("no")
+	}, Config{Count: 1, MaxShrink: 50})
+	// 1 initial evaluation + at most 50 shrink evaluations.
+	if evals > 51 {
+		t.Fatalf("shrinking used %d evaluations, budget was 50", evals)
+	}
+}
+
+// TestCheckWithoutShrinker: generators without a Shrink function still
+// report the raw counterexample.
+func TestCheckWithoutShrinker(t *testing.T) {
+	g := Gen[uint64]{
+		Name:     "no-shrink",
+		Generate: func(r *prng.Rand) uint64 { return r.Uint64() | 1 },
+	}
+	rec := &Recorder{}
+	f := Check(rec, "odd", g, func(v uint64) error { return errors.New("always") })
+	if f == nil {
+		t.Fatal("property not falsified")
+	}
+	if f.Shrunk != f.Value || f.ShrinkSteps != 0 {
+		t.Fatalf("shrink ran without a shrinker: %+v", f)
+	}
+}
+
+// TestShrinkersTerminateAndReduce: every shrinker's candidates must
+// strictly reduce a finite measure, so chains terminate. Checked by
+// walking greedy chains from random starting points.
+func TestShrinkersTerminateAndReduce(t *testing.T) {
+	r := prng.New(99)
+	for i := 0; i < 50; i++ {
+		v := r.Uint64()
+		steps := 0
+		for v != 0 {
+			cands := shrinkUint64(v)
+			if len(cands) == 0 {
+				break
+			}
+			next := cands[0]
+			if popcount64(next) >= popcount64(v) && next >= v {
+				t.Fatalf("uint64 shrink did not reduce: %#x -> %#x", v, next)
+			}
+			v = next
+			if steps++; steps > 200 {
+				t.Fatal("uint64 shrink chain did not terminate")
+			}
+		}
+	}
+	b := r.Bytes(16)
+	steps := 0
+	for bits.PopCount(b) > 0 {
+		cands := ShrinkBytes(b)
+		if len(cands) == 0 {
+			break
+		}
+		// Candidates after the first (all-zero) proposal reduce by one
+		// byte or one bit; take the last to walk the slowest chain.
+		next := cands[len(cands)-1]
+		if bits.PopCount(next) >= bits.PopCount(b) {
+			t.Fatalf("bytes shrink did not reduce popcount: %x -> %x", b, next)
+		}
+		b = next
+		if steps++; steps > 200 {
+			t.Fatal("bytes shrink chain did not terminate")
+		}
+	}
+}
+
+func popcount64(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// TestBytesGenerator: generated strings have the requested length and
+// are a pure function of the PRNG stream.
+func TestBytesGenerator(t *testing.T) {
+	g := Bytes(32)
+	a := g.Generate(prng.NewStream(5, 9))
+	b := g.Generate(prng.NewStream(5, 9))
+	if len(a) != 32 || !bits.Equal(a, b) {
+		t.Fatalf("Bytes generator not deterministic: %x vs %x", a, b)
+	}
+}
+
+// TestIntRange: values stay in range, shrink moves toward lo, and an
+// empty range panics.
+func TestIntRange(t *testing.T) {
+	g := IntRange(3, 17)
+	r := prng.New(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Generate(r)
+		if v < 3 || v > 17 {
+			t.Fatalf("IntRange produced %d outside [3, 17]", v)
+		}
+	}
+	for _, c := range g.Shrink(17) {
+		if c < 3 || c >= 17 {
+			t.Fatalf("shrink candidate %d escapes [lo, v)", c)
+		}
+	}
+	if g.Shrink(3) != nil {
+		t.Fatal("lo must not shrink further")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty IntRange did not panic")
+		}
+	}()
+	IntRange(5, 4)
+}
+
+// TestFloatsGenerator: shape, determinism, and shrink behavior.
+func TestFloatsGenerator(t *testing.T) {
+	g := Floats(3, 4, 1.0)
+	m := g.Generate(prng.NewStream(11, 0))
+	if len(m) != 3 || len(m[0]) != 4 {
+		t.Fatalf("Floats shape %dx%d, want 3x4", len(m), len(m[0]))
+	}
+	m2 := g.Generate(prng.NewStream(11, 0))
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != m2[i][j] {
+				t.Fatal("Floats generator not deterministic")
+			}
+		}
+	}
+	steps := 0
+	for cands := g.Shrink(m); len(cands) > 0; cands = g.Shrink(m) {
+		m = cands[len(cands)-1]
+		if steps++; steps > 10000 {
+			t.Fatal("Floats shrink chain did not terminate")
+		}
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 0 {
+				t.Fatalf("fully shrunk matrix still has nonzero entry %v", m[i][j])
+			}
+		}
+	}
+}
+
+// TestRecorder: the Recorder captures reports and Logf lines.
+func TestRecorder(t *testing.T) {
+	rec := &Recorder{}
+	if rec.Failed() {
+		t.Fatal("fresh recorder reports failure")
+	}
+	rec.Errorf("bad %d", 1)
+	rec.Logf("note %d", 2)
+	if !rec.Failed() || len(rec.Failures) != 1 || rec.Failures[0] != "bad 1" {
+		t.Fatalf("recorder failures: %v", rec.Failures)
+	}
+	if len(rec.Logs) != 1 || rec.Logs[0] != "note 2" {
+		t.Fatalf("recorder logs: %v", rec.Logs)
+	}
+}
+
+// TestCheckReportsThroughTestingT: Check wired to a real *testing.T
+// (via a subtest that expects failure is not possible without failing
+// the suite, so this only checks the success path compiles and runs).
+func TestCheckReportsThroughTestingT(t *testing.T) {
+	if f := Check(t, "trivial", IntRange(0, 10), func(int) error { return nil }); f != nil {
+		t.Fatalf("unexpected failure: %+v", f)
+	}
+}

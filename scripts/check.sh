@@ -2,7 +2,16 @@
 # Tier-1 verify recipe. The -race passes cover the packages this
 # repository's concurrency lives in: the sharded dataset generation
 # (internal/core) and the goroutine-parallel matrix kernels
-# (internal/nn).
+# (internal/nn). On top of the plain test run this script executes:
+#
+#   - the internal/testkit conformance suite (KATs for all five
+#     primitives, property runner self-tests, sampled-vs-exact DP
+#     cross-validation), uncached so vectors are really re-evaluated;
+#   - a fuzz smoke: each native fuzz target runs for FUZZ_SECONDS
+#     (default 10s) of random exploration, skippable with CHECK_FUZZ=0
+#     for quick local iteration;
+#   - a coverage gate on internal/core and internal/nn that fails if
+#     statement coverage drops below the recorded baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +19,45 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/nn/... ./internal/core/...
+
+# --- Conformance suite (testkit): run uncached so KATs re-execute.
+go test -count=1 ./internal/testkit/
+
+# --- Fuzz smoke: 10s of random exploration per target. Go only
+# supports one -fuzz pattern per invocation, so iterate. -run '^$'
+# skips the unit tests already covered above.
+FUZZ_SECONDS="${FUZZ_SECONDS:-10}"
+if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
+  for target in \
+      "./internal/bits FuzzToFloatsRoundTrip" \
+      "./internal/bits FuzzHexRoundTrip" \
+      "./internal/bits FuzzBitOps" \
+      "./internal/nn FuzzLoadArbitraryBytes" \
+      "./internal/nn FuzzSaveLoadRoundTrip"; do
+    set -- $target
+    echo "fuzz smoke: $1 $2 (${FUZZ_SECONDS}s)"
+    go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime "${FUZZ_SECONDS}s"
+  done
+fi
+
+# --- Coverage gate: seed baselines, measured at the PR that introduced
+# the gate. Raising coverage moves the floor up in the same commit;
+# dropping below it fails the build.
+check_cover() {
+  local pkg="$1" floor="$2"
+  local pct
+  pct=$(go test -count=1 -cover "$pkg" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
+  if [[ -z "$pct" ]]; then
+    echo "coverage gate: could not measure $pkg" >&2
+    return 1
+  fi
+  awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p+0 < f+0) }' && {
+    echo "coverage gate: $pkg at ${pct}% is below the ${floor}% floor" >&2
+    return 1
+  }
+  echo "coverage gate: $pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/core 90.9
+check_cover ./internal/nn   90.6
+
+echo "check.sh: all gates passed"
