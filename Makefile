@@ -9,8 +9,14 @@ check:
 conformance:
 	go test -count=1 -v ./internal/testkit/
 
-# Paper-table benchmarks; BENCH_*.json trajectories come from these.
+# Hot-path benchmarks with allocation tracking, snapshotted to
+# BENCH_<date>.json and diffed against the previous committed snapshot
+# (see scripts/bench.sh and cmd/benchdiff).
 bench:
+	./scripts/bench.sh
+
+# Paper-table benchmarks (full Table 1–3 pipelines, one iteration).
+bench-tables:
 	go test . -run xxx -bench . -benchtime 1x
 
 # The performance-sensitive benchmarks only (dataset generation,
@@ -18,4 +24,4 @@ bench:
 bench-perf:
 	go test . -run xxx -bench 'GenerateDataset|PredictBatch|MatMul|OracleGameOnline' -benchtime 3x
 
-.PHONY: check conformance bench bench-perf
+.PHONY: check conformance bench bench-tables bench-perf

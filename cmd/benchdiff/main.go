@@ -1,0 +1,193 @@
+// Command benchdiff snapshots `go test -bench` output as a JSON file
+// and compares two snapshots, printing per-benchmark deltas. It is the
+// persistence half of `make bench`: scripts/bench.sh pipes benchmark
+// output through `benchdiff -snapshot BENCH_<date>.json` and then
+// renders the drift against the previous committed snapshot with
+// `benchdiff -compare old.json new.json`. Stdlib only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one measured benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the persisted BENCH_<date>.json document.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		snapshot = flag.String("snapshot", "", "parse `go test -bench` output on stdin and write this JSON snapshot")
+		date     = flag.String("date", "", "date stamp recorded in the snapshot (default: derived from the -snapshot filename)")
+		compare  = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
+	)
+	flag.Parse()
+	switch {
+	case *snapshot != "":
+		if err := writeSnapshot(os.Stdin, *snapshot, *date); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -compare needs exactly two snapshot files")
+			os.Exit(2)
+		}
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// parseBench extracts benchmark lines from `go test -bench -benchmem`
+// output. A line looks like
+//
+//	BenchmarkFit/workers=1-8  20  57157982 ns/op  8288 B/op  5 allocs/op
+//
+// Lines that are not benchmark results (pkg headers, PASS, ok) are
+// ignored.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: f[0], Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				seen = true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// writeSnapshot parses stdin and writes the snapshot JSON.
+func writeSnapshot(r io.Reader, path, date string) error {
+	benches, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if date == "" {
+		date = dateFromPath(path)
+	}
+	snap := Snapshot{
+		Date:       date,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// dateFromPath recovers the <date> stamp from a BENCH_<date>.json
+// filename; unknown shapes return the bare filename.
+func dateFromPath(path string) string {
+	base := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".json")
+	return strings.TrimPrefix(base, "BENCH_")
+}
+
+// compareFiles renders the per-benchmark drift from old to new.
+func compareFiles(w io.Writer, oldPath, newPath string) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchdiff: %s (%s) → %s (%s)\n", oldPath, oldSnap.Date, newPath, newSnap.Date)
+	prev := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		prev[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-52s  %14s  %14s  %8s  %12s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "allocs/op")
+	for _, nb := range newSnap.Benchmarks {
+		ob, ok := prev[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s  %14s  %14.0f  %8s  %9.0f (new)\n", nb.Name, "-", nb.NsPerOp, "-", nb.AllocsPerOp)
+			continue
+		}
+		delete(prev, nb.Name)
+		fmt.Fprintf(w, "%-52s  %14.0f  %14.0f  %+7.1f%%  %5.0f→%.0f\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pctDelta(ob.NsPerOp, nb.NsPerOp), ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	for name := range prev {
+		fmt.Fprintf(w, "%-52s  (removed)\n", name)
+	}
+	return nil
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/nn
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFit/workers=1-8         	      20	  57157982 ns/op	    8288 B/op	       5 allocs/op
+BenchmarkFit/workers=4-8         	      20	  59389637 ns/op	    8520 B/op	      12 allocs/op
+BenchmarkMatMul-8                	     100	    123456 ns/op
+PASS
+ok  	repro/internal/nn	2.684s
+`
+
+func TestParseBench(t *testing.T) {
+	bs, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	b := bs[0]
+	if b.Name != "BenchmarkFit/workers=1-8" || b.Iterations != 20 ||
+		b.NsPerOp != 57157982 || b.BytesPerOp != 8288 || b.AllocsPerOp != 5 {
+		t.Fatalf("first benchmark parsed as %+v", b)
+	}
+	if bs[2].Name != "BenchmarkMatMul-8" || bs[2].NsPerOp != 123456 || bs[2].AllocsPerOp != 0 {
+		t.Fatalf("benchmark without -benchmem parsed as %+v", bs[2])
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	err := writeSnapshot(strings.NewReader("PASS\nok\n"), filepath.Join(dir, "BENCH_1.json"), "")
+	if err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}
+
+func TestSnapshotAndCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_20260101.json")
+	newPath := filepath.Join(dir, "BENCH_20260102.json")
+	if err := writeSnapshot(strings.NewReader(sample), oldPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sample, "57157982", "28578991")
+	faster = strings.ReplaceAll(faster, "BenchmarkMatMul-8", "BenchmarkColSums-8")
+	if err := writeSnapshot(strings.NewReader(faster), newPath, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := readSnapshot(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Date != "20260101" {
+		t.Fatalf("snapshot date %q, want 20260101", snap.Date)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("snapshot kept %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+
+	var sb strings.Builder
+	if err := compareFiles(&sb, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkFit/workers=1-8", "-50.0%", "(new)", "(removed)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDateFromPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"BENCH_20260805.json":      "20260805",
+		"some/dir/BENCH_2026.json": "2026",
+		"odd.json":                 "odd",
+	} {
+		if got := dateFromPath(path); got != want {
+			t.Fatalf("dateFromPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

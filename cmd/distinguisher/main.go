@@ -29,6 +29,7 @@ func main() {
 		train      = flag.Int("train", 8192, "training samples per class")
 		val        = flag.Int("val", 2048, "validation samples per class")
 		epochs     = flag.Int("epochs", 5, "training epochs")
+		workers    = flag.Int("workers", 0, "training workers per mini-batch (0 = GOMAXPROCS); trained weights are byte-identical at any value")
 		hidden     = flag.Int("hidden", 128, "hidden width of the default MLP")
 		arch       = flag.String("arch", "", "use a Table 3 architecture (mlp1..mlp6, lstm1, lstm2, cnn1, cnn2)")
 		classifier = flag.String("classifier", "nn", "nn | svm | logistic | bitbias")
@@ -49,7 +50,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*target, *rounds, *train, *val, *epochs, *hidden, *arch, *classifier,
+	if err := run(*target, *rounds, *train, *val, *epochs, *hidden, *workers, *arch, *classifier,
 		*seed, *games, *queries, *save, *saveDist, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "distinguisher:", err)
 		os.Exit(1)
@@ -83,7 +84,7 @@ func buildScenario(target string, rounds int) (core.Scenario, error) {
 	return core.NewScenarioByName(target, rounds)
 }
 
-func buildClassifier(kind, arch string, s core.Scenario, hidden, epochs int, seed uint64, quiet bool) (core.Classifier, *core.NNClassifier, error) {
+func buildClassifier(kind, arch string, s core.Scenario, hidden, epochs, workers int, seed uint64, quiet bool) (core.Classifier, *core.NNClassifier, error) {
 	switch kind {
 	case "nn":
 		var c *core.NNClassifier
@@ -97,6 +98,7 @@ func buildClassifier(kind, arch string, s core.Scenario, hidden, epochs int, see
 			return nil, nil, err
 		}
 		c.Epochs = epochs
+		c.Workers = workers
 		if !quiet {
 			c.OnEpoch = func(e int, loss, acc float64) {
 				fmt.Fprintf(os.Stderr, "  epoch %d: loss %.4f, acc %.4f\n", e+1, loss, acc)
@@ -117,14 +119,14 @@ func buildClassifier(kind, arch string, s core.Scenario, hidden, epochs int, see
 	}
 }
 
-func run(target string, rounds, train, val, epochs, hidden int, arch, classifier string,
+func run(target string, rounds, train, val, epochs, hidden, workers int, arch, classifier string,
 	seed uint64, games, queries int, save, saveDist string, quiet bool) error {
 
 	s, err := buildScenario(target, rounds)
 	if err != nil {
 		return err
 	}
-	c, nnc, err := buildClassifier(classifier, arch, s, hidden, epochs, seed, quiet)
+	c, nnc, err := buildClassifier(classifier, arch, s, hidden, epochs, workers, seed, quiet)
 	if err != nil {
 		return err
 	}

@@ -39,6 +39,7 @@ func main() {
 		seed       = flag.Uint64("seed", 2020, "experiment seed")
 		samples    = flag.Int("samples", 20000, "Monte-Carlo samples for Table 1 verification")
 		rounds     = flag.Int("rounds", 8, "round count for Table 3 / ablation")
+		workers    = flag.Int("workers", 0, "training workers per mini-batch (0 = GOMAXPROCS); results are byte-identical at any value")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	if *paperScale {
 		sc = experiments.PaperScale()
 	}
+	sc.Workers = *workers
 
 	ran := false
 	run := func(name string, f func() error) {
@@ -138,6 +140,7 @@ func printTable3(sc experiments.Scale, rounds int, seed uint64) error {
 		ValPerClass:   sc.ValPerClass,
 		Epochs:        sc.Epochs,
 		Seed:          seed,
+		Workers:       sc.Workers,
 	}, func(line string) { fmt.Fprintln(os.Stderr, "  ...", line) })
 	if err != nil {
 		return err

@@ -10,15 +10,28 @@ import (
 )
 
 // NNClassifier adapts an internal/nn network to the Classifier
-// interface, owning its training hyperparameters.
+// interface, owning its training hyperparameters. It is not safe for
+// concurrent use: PredictBatch reuses cached scratch buffers.
 type NNClassifier struct {
 	Net    *nn.Network
 	Epochs int
 	Batch  int
 	LR     float64
 	Seed   uint64
+	// Workers is the training worker count passed to nn.FitConfig
+	// (0 = GOMAXPROCS). Trained weights are byte-identical at every
+	// value; see the determinism contract in internal/nn/parallel.go.
+	Workers int
 	// OnEpoch, if non-nil, receives per-epoch training metrics.
 	OnEpoch func(epoch int, loss, acc float64)
+
+	// Prediction scratch, rebuilt whenever Net is swapped: a Predictor
+	// holding replica layers with reusable buffers, one input matrix and
+	// one output slice shared by every chunk of every PredictBatch call.
+	pred    *nn.Predictor
+	predNet *nn.Network
+	inBuf   *nn.Matrix
+	outBuf  []int
 }
 
 // NewMLPClassifier builds the package's default model: the paper's
@@ -63,6 +76,7 @@ func (c *NNClassifier) Fit(x [][]float64, y []int) error {
 		Optimizer: nn.NewAdam(c.LR),
 		Seed:      c.Seed,
 		OnEpoch:   c.OnEpoch,
+		Workers:   c.Workers,
 	})
 	return err
 }
@@ -70,13 +84,52 @@ func (c *NNClassifier) Fit(x [][]float64, y []int) error {
 // Predict returns the network's argmax class.
 func (c *NNClassifier) Predict(x []float64) int { return c.Net.PredictOne(x) }
 
-// PredictBatch classifies the whole batch in one forward pass through
-// the network, instead of one 1-row matrix product per sample.
+// predictChunk caps how many rows share one forward pass, bounding the
+// scratch matrices while keeping per-call overhead amortized. It
+// matches the online phase's oracle-buffer cap, so Distinguish chunks
+// map 1:1 onto prediction chunks.
+const predictChunk = 4096
+
+// PredictBatch classifies the batch in forward passes of up to
+// predictChunk rows, routed through a cached nn.Predictor whose
+// replica layers reuse one set of scratch matrices across chunks and
+// across calls — the steady state of evalAccuracy and Distinguish
+// allocates only the returned slice. Predictions are bitwise those of
+// Net.Predict (inference is row-independent, so chunking cannot change
+// any output).
 func (c *NNClassifier) PredictBatch(x [][]float64) []int {
 	if len(x) == 0 {
 		return nil
 	}
-	return c.Net.Predict(nn.FromRows(x))
+	if c.pred == nil || c.predNet != c.Net {
+		c.pred = c.Net.NewPredictor()
+		c.predNet = c.Net
+		c.inBuf = nil
+	}
+	cols := len(x[0])
+	out := make([]int, len(x))
+	for lo := 0; lo < len(x); lo += predictChunk {
+		hi := lo + predictChunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		rows := hi - lo
+		if m := c.inBuf; m == nil || cap(m.Data) < rows*cols {
+			c.inBuf = nn.NewMatrix(rows, cols)
+		} else {
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:rows*cols]
+		}
+		for i := lo; i < hi; i++ {
+			if len(x[i]) != cols {
+				panic(fmt.Sprintf("core: ragged batch: row %d has %d features, want %d", i, len(x[i]), cols))
+			}
+			copy(c.inBuf.Data[(i-lo)*cols:(i-lo+1)*cols], x[i])
+		}
+		c.outBuf = c.pred.PredictInto(c.outBuf, c.inBuf)
+		copy(out[lo:hi], c.outBuf)
+	}
+	return out
 }
 
 // Interface checks: the svm package models implement Classifier

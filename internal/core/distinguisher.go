@@ -174,6 +174,10 @@ func Train(s Scenario, c Classifier, cfg TrainConfig) (*Distinguisher, error) {
 	return d, nil
 }
 
+// evalAccuracy scores the classifier on a labelled set. For
+// NNClassifier the call runs through its cached Predictor, which
+// chunks the set internally and reuses one set of scratch matrices
+// across chunks, so scoring large sets does not allocate per chunk.
 func evalAccuracy(c Classifier, d *Dataset) float64 {
 	return stats.Accuracy(c.PredictBatch(d.X), d.Y)
 }
@@ -201,7 +205,9 @@ const distinguishBatch = 4096
 // is consumed exactly as in the per-query formulation) but scored
 // through Classifier.PredictBatch in chunks of up to 4096, which for
 // the neural classifiers replaces thousands of 1-row forward passes
-// with a few batched matrix products.
+// with a few batched matrix products. NNClassifier additionally keeps
+// its prediction scratch alive between calls, so consecutive chunks
+// here reuse one set of matrices instead of allocating per chunk.
 func (d *Distinguisher) Distinguish(o Oracle, queries int, r *prng.Rand) (OnlineResult, error) {
 	t := d.Scenario.Classes()
 	if queries <= 0 {

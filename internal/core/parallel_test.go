@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -190,6 +191,113 @@ func TestBatchedAdapter(t *testing.T) {
 	for i, x := range probe.X {
 		if c.Predict(x) != batch[i] {
 			t.Fatalf("adapter batch/serial disagree at %d", i)
+		}
+	}
+}
+
+// TestFitParallelDeterminism is the training-engine counterpart of
+// TestGenerateDatasetParallelDeterminism: for a Gimli and a Speck
+// scenario, an NNClassifier trained at 1, 4 and 7 workers must end with
+// byte-identical network weights and identical accuracies.
+func TestFitParallelDeterminism(t *testing.T) {
+	gimli, err := NewGimliCipherScenario(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speck, err := NewSpeckScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scenario{gimli, speck} {
+		// perClass chosen so batches of 32 leave a partial trailing
+		// batch and shard boundaries land mid-batch.
+		train := GenerateDataset(s, 101, prng.New(21))
+		val := GenerateDataset(s, 37, prng.New(22))
+
+		type result struct {
+			bits     []uint64
+			valPreds []int
+		}
+		run := func(workers int) result {
+			c, err := NewMLPClassifier(s.FeatureLen(), s.Classes(), 16, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Epochs, c.Batch, c.Workers = 2, 32, workers
+			if err := c.Fit(train.X, train.Y); err != nil {
+				t.Fatal(err)
+			}
+			var bits []uint64
+			for _, p := range c.Net.Params() {
+				for _, w := range p.W {
+					bits = append(bits, math.Float64bits(w))
+				}
+			}
+			return result{bits: bits, valPreds: c.PredictBatch(val.X)}
+		}
+
+		want := run(1)
+		for _, workers := range []int{4, 7} {
+			got := run(workers)
+			for i := range want.bits {
+				if got.bits[i] != want.bits[i] {
+					t.Fatalf("%s: %d-worker training diverged from serial at scalar %d", s.Name(), workers, i)
+				}
+			}
+			for i := range want.valPreds {
+				if got.valPreds[i] != want.valPreds[i] {
+					t.Fatalf("%s: %d-worker predictions diverged at row %d", s.Name(), workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestNNClassifierPredictBatchChunking: chunked scratch-reusing
+// prediction must agree with per-sample Predict, including when the
+// classifier outlives a Net swap.
+func TestNNClassifierPredictBatchChunking(t *testing.T) {
+	s, err := NewSpeckScenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewMLPClassifier(s.FeatureLen(), s.Classes(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Epochs = 1
+	r := prng.New(11)
+	train := GenerateDataset(s, 64, r)
+	if err := c.Fit(train.X, train.Y); err != nil {
+		t.Fatal(err)
+	}
+	probe := GenerateDataset(s, 40, r)
+	batch := c.PredictBatch(probe.X)
+	for i, x := range probe.X {
+		if got := c.Predict(x); got != batch[i] {
+			t.Fatalf("batch/serial disagree at row %d: %d vs %d", i, batch[i], got)
+		}
+	}
+	// Repeated calls reuse the cached scratch and stay consistent.
+	again := c.PredictBatch(probe.X)
+	for i := range batch {
+		if again[i] != batch[i] {
+			t.Fatalf("repeated PredictBatch changed row %d", i)
+		}
+	}
+	// Swapping the network must invalidate the cached Predictor.
+	c2, err := NewMLPClassifier(s.FeatureLen(), s.Classes(), 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Fit(train.X, train.Y); err != nil {
+		t.Fatal(err)
+	}
+	c.Net = c2.Net
+	swapped := c.PredictBatch(probe.X)
+	for i, x := range probe.X {
+		if got := c2.Net.PredictOne(x); got != swapped[i] {
+			t.Fatalf("after Net swap, row %d predicted %d, want %d", i, swapped[i], got)
 		}
 	}
 }

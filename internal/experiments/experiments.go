@@ -26,6 +26,11 @@ type Scale struct {
 	ValPerClass   int
 	Epochs        int
 	Hidden        int
+	// Workers is the per-batch training worker count handed to
+	// nn.FitConfig (0 = GOMAXPROCS). Results are byte-identical at
+	// every value, so Scale comparisons never confound parallelism
+	// with numerics.
+	Workers int
 }
 
 // QuickScale finishes the full Table 2 in roughly a minute on a laptop
@@ -181,6 +186,7 @@ func Table2Cell(target string, rounds int, sc Scale, seed uint64) (Table2Row, er
 		return Table2Row{}, err
 	}
 	c.Epochs = sc.Epochs
+	c.Workers = sc.Workers
 	start := time.Now()
 	d, err := core.Train(s, c, core.TrainConfig{
 		TrainPerClass: sc.TrainPerClass,
@@ -234,6 +240,9 @@ type Table3Config struct {
 	ValPerClass   int
 	Epochs        int
 	Seed          uint64
+	// Workers is the deterministic training worker count (0 =
+	// GOMAXPROCS); accuracies do not depend on it.
+	Workers int
 	// Archs restricts the run to a subset of nn.Table3Names (nil = all).
 	Archs []string
 }
@@ -287,6 +296,7 @@ func Table3(cfg Table3Config, progress func(string)) ([]Table3Row, error) {
 			return nil, err
 		}
 		c.Epochs = cfg.Epochs
+		c.Workers = cfg.Workers
 		row.Params = c.Net.ParamCount()
 		start := time.Now()
 		d, err := core.Train(s, c, core.TrainConfig{
@@ -417,6 +427,7 @@ func ClassifierAblation(rounds int, sc Scale, seed uint64) ([]AblationRow, error
 		return nil, err
 	}
 	mlp.Epochs = sc.Epochs
+	mlp.Workers = sc.Workers
 	svmC, err := svm.NewLinearSVM(s.FeatureLen(), s.Classes(), 0, sc.Epochs, seed)
 	if err != nil {
 		return nil, err

@@ -65,6 +65,44 @@ func TestSeedStabilitySpeck7r(t *testing.T) {
 	pinAcc(t, "speck-7r train", d.TrainAccuracy, 0.5117)
 }
 
+// TestSeedStabilityParallelFit re-asserts the pinned accuracies with
+// the data-parallel training engine at several worker counts. The
+// engine's contract is byte-identity with serial Fit, so the parallel
+// runs must reproduce the exact same pinned values — not merely close
+// ones. Drift here with the serial pins intact means the sharded
+// gradient path diverged from the serial path.
+func TestSeedStabilityParallelFit(t *testing.T) {
+	for _, workers := range []int{1, 4, 7} {
+		sc := seedStabilityScale()
+		sc.Workers = workers
+		row, err := Table2Cell("gimli-hash", 8, sc, seedStabilitySeed)
+		if err != nil && row == (Table2Row{}) {
+			t.Fatalf("workers=%d: cell failed outright: %v", workers, err)
+		}
+		pinAcc(t, "gimli-hash-8r val (parallel)", row.Accuracy, 0.5225)
+		pinAcc(t, "gimli-hash-8r train (parallel)", row.TrainAcc, 0.5342)
+
+		s, err := core.NewSpeckScenario(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), 32, seedStabilitySeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Epochs = 2
+		c.Workers = workers
+		d, err := core.Train(s, c, core.TrainConfig{
+			TrainPerClass: 1024, ValPerClass: 512, Seed: seedStabilitySeed,
+		})
+		if d == nil {
+			t.Fatalf("workers=%d: offline phase failed outright: %v", workers, err)
+		}
+		pinAcc(t, "speck-7r val (parallel)", d.Accuracy, 0.5098)
+		pinAcc(t, "speck-7r train (parallel)", d.TrainAccuracy, 0.5117)
+	}
+}
+
 // TestSeedStabilityIsRunToRunStable: the pin is meaningful only if the
 // pipeline is actually deterministic — two runs in the same process
 // must agree bit-for-bit, not just to 4 decimals.

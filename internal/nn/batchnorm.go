@@ -22,10 +22,39 @@ type BatchNorm struct {
 	runMean     []float64
 	runVar      []float64
 
-	// Training caches.
-	xHat    *Matrix
-	std     []float64
-	trained bool
+	// Training caches and scratch buffers, reused across steps.
+	xHat     *Matrix
+	std      []float64
+	mean     []float64
+	variance []float64
+	out      *Matrix
+	dx       *Matrix
+	sumDxHat []float64
+	sumDxXh  []float64
+	trained  bool
+
+	scratchEval bool
+}
+
+// BatchNorm deliberately does not implement cloneForTrain: its
+// train-mode statistics couple every row of the mini-batch, so a
+// sharded forward pass would compute different normalizations than a
+// serial one. Networks containing it train on the legacy whole-batch
+// path (see Network.Fit). Inference normalizes row-wise with running
+// statistics, so cloneForEval below is still available to Predictor.
+func (b *BatchNorm) cloneForEval() Layer {
+	return &BatchNorm{
+		Dim:      b.Dim,
+		Momentum: b.Momentum,
+		Eps:      b.Eps,
+		gamma:    &Param{Name: b.gamma.Name, W: b.gamma.W},
+		beta:     &Param{Name: b.beta.Name, W: b.beta.W},
+		// Shared slices: replicas see running-statistic updates from
+		// any later training on the base layer.
+		runMean:     b.runMean,
+		runVar:      b.runVar,
+		scratchEval: true,
+	}
 }
 
 // NewBatchNorm creates a batch-normalization layer for feature width
@@ -68,7 +97,13 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 	if x.Cols != b.Dim {
 		panic(fmt.Sprintf("nn: %s got input width %d", b.Name(), x.Cols))
 	}
-	out := NewMatrix(x.Rows, x.Cols)
+	var out *Matrix
+	if train || b.scratchEval {
+		b.out = ensureMatrix(b.out, x.Rows, x.Cols)
+		out = b.out
+	} else {
+		out = NewMatrix(x.Rows, x.Cols)
+	}
 	if !train {
 		for i := 0; i < x.Rows; i++ {
 			row := x.Row(i)
@@ -82,8 +117,11 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 	}
 
 	n := float64(x.Rows)
-	mean := make([]float64, b.Dim)
-	variance := make([]float64, b.Dim)
+	b.mean = ensureVec(b.mean, b.Dim)
+	b.variance = ensureVec(b.variance, b.Dim)
+	zeroFloats(b.mean)
+	zeroFloats(b.variance)
+	mean, variance := b.mean, b.variance
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		for j, v := range row {
@@ -104,11 +142,11 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 		variance[j] /= n
 	}
 
-	b.std = make([]float64, b.Dim)
+	b.std = ensureVec(b.std, b.Dim)
 	for j := range b.std {
 		b.std[j] = math.Sqrt(variance[j] + b.Eps)
 	}
-	b.xHat = NewMatrix(x.Rows, x.Cols)
+	b.xHat = ensureMatrix(b.xHat, x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		xh := b.xHat.Row(i)
@@ -134,11 +172,15 @@ func (b *BatchNorm) Backward(grad *Matrix) *Matrix {
 		panic("nn: BatchNorm.Backward before Forward(train=true)")
 	}
 	n := float64(grad.Rows)
-	dx := NewMatrix(grad.Rows, grad.Cols)
+	b.dx = ensureMatrix(b.dx, grad.Rows, grad.Cols)
+	dx := b.dx
 
 	// Per-feature sums.
-	sumDxHat := make([]float64, b.Dim)
-	sumDxHatXHat := make([]float64, b.Dim)
+	b.sumDxHat = ensureVec(b.sumDxHat, b.Dim)
+	b.sumDxXh = ensureVec(b.sumDxXh, b.Dim)
+	zeroFloats(b.sumDxHat)
+	zeroFloats(b.sumDxXh)
+	sumDxHat, sumDxHatXHat := b.sumDxHat, b.sumDxXh
 	for i := 0; i < grad.Rows; i++ {
 		g := grad.Row(i)
 		xh := b.xHat.Row(i)

@@ -20,6 +20,11 @@ type Conv1D struct {
 	SeqLen, InCh, Filters, Kernel int
 	w, b                          *Param // w layout: [filter][tap][channel]
 	x                             *Matrix
+	out                           *Matrix // forward scratch
+	dx                            *Matrix // backward scratch
+
+	scratchEval bool
+	seq         bool
 }
 
 // NewConv1D creates a Conv1D layer with Glorot-uniform weights.
@@ -72,12 +77,18 @@ func (c *Conv1D) Forward(x *Matrix, train bool) *Matrix {
 	if x.Cols != c.InDim() {
 		panic(fmt.Sprintf("nn: %s got input width %d", c.Name(), x.Cols))
 	}
-	if train {
-		c.x = x
+	var out *Matrix
+	if train || c.scratchEval {
+		if train {
+			c.x = x
+		}
+		c.out = ensureMatrix(c.out, x.Rows, c.OutDim())
+		out = c.out
+	} else {
+		out = NewMatrix(x.Rows, c.OutDim())
 	}
-	out := NewMatrix(x.Rows, c.OutDim())
 	half := c.Kernel / 2
-	parallelRows(x.Rows, x.Rows*c.SeqLen*c.Filters*c.Kernel*c.InCh, func(lo, hi int) {
+	rowKernel := func(lo, hi int) {
 		for n := lo; n < hi; n++ {
 			in := x.Row(n)
 			o := out.Row(n)
@@ -97,7 +108,12 @@ func (c *Conv1D) Forward(x *Matrix, train bool) *Matrix {
 				}
 			}
 		}
-	})
+	}
+	if c.seq {
+		rowKernel(0, x.Rows)
+	} else {
+		parallelRows(x.Rows, x.Rows*c.SeqLen*c.Filters*c.Kernel*c.InCh, rowKernel)
+	}
 	return out
 }
 
@@ -106,7 +122,9 @@ func (c *Conv1D) Backward(grad *Matrix) *Matrix {
 	if c.x == nil {
 		panic("nn: Conv1D.Backward before Forward(train=true)")
 	}
-	dx := NewMatrix(c.x.Rows, c.x.Cols)
+	c.dx = ensureMatrix(c.dx, c.x.Rows, c.x.Cols)
+	dx := c.dx
+	zeroFloats(dx.Data)
 	half := c.Kernel / 2
 	// Sequential over samples: gradient accumulation into shared
 	// buffers must not race.
@@ -135,4 +153,28 @@ func (c *Conv1D) Backward(grad *Matrix) *Matrix {
 		}
 	}
 	return dx
+}
+
+// cloneForTrain returns a training replica sharing the kernel weights
+// but owning caches and (engine-bound) gradient buffers. The backward
+// pass is already sample-sequential, so a replica processing one shard
+// accumulates exactly the chain a serial pass over that shard would.
+func (c *Conv1D) cloneForTrain(seq bool) Layer {
+	return &Conv1D{
+		SeqLen: c.SeqLen, InCh: c.InCh, Filters: c.Filters, Kernel: c.Kernel,
+		w:           &Param{Name: c.w.Name, W: c.w.W},
+		b:           &Param{Name: c.b.Name, W: c.b.W},
+		scratchEval: true,
+		seq:         seq,
+	}
+}
+
+// cloneForEval returns an inference replica with reusable scratch.
+func (c *Conv1D) cloneForEval() Layer {
+	return &Conv1D{
+		SeqLen: c.SeqLen, InCh: c.InCh, Filters: c.Filters, Kernel: c.Kernel,
+		w:           &Param{Name: c.w.Name, W: c.w.W},
+		b:           &Param{Name: c.b.Name, W: c.b.W},
+		scratchEval: true,
+	}
 }

@@ -15,8 +15,23 @@ type Dropout struct {
 	P   float64 // drop probability in [0, 1)
 	Dim int
 
-	r    *prng.Rand
+	// Masks are drawn positionally: row i of training step s draws its
+	// Dim keep/drop decisions from prng.NewStream(seed, s<<32|row),
+	// where row is the row's global offset within the step's batch.
+	// Because each (step, row) pair owns a substream — the same
+	// construction GenerateDatasetParallel uses — any sharding of the
+	// batch across training-engine workers draws exactly the same
+	// masks as a serial pass. step auto-increments per training
+	// forward; the engine overrides it (setPos) so every shard of one
+	// mini-batch shares the step coordinate.
+	seed   uint64
+	step   uint64
+	rowOff int
+	rw     prng.Rand
+
 	mask []float64
+	out  *Matrix // forward scratch
+	gout *Matrix // backward scratch
 }
 
 // NewDropout creates a dropout layer for feature width dim with drop
@@ -28,7 +43,7 @@ func NewDropout(p float64, dim int, seed uint64) *Dropout {
 	if dim <= 0 {
 		panic(fmt.Sprintf("nn: invalid dropout dim %d", dim))
 	}
-	return &Dropout{P: p, Dim: dim, r: prng.New(seed ^ 0xd409)}
+	return &Dropout{P: p, Dim: dim, seed: seed ^ 0xd409}
 }
 
 // Name identifies the layer.
@@ -43,6 +58,15 @@ func (d *Dropout) OutDim() int { return d.Dim }
 // Params returns nil: dropout is parameter-free.
 func (d *Dropout) Params() []*Param { return nil }
 
+// setPos positions the layer's mask stream: the next training forward
+// draws masks for global step and batch-row offset rowOff. The training
+// engine calls this before every shard so mask draws are a function of
+// batch coordinates, never of which worker runs the shard.
+func (d *Dropout) setPos(step uint64, rowOff int) {
+	d.step = step
+	d.rowOff = rowOff
+}
+
 // Forward applies the mask in training mode and is the identity
 // otherwise.
 func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
@@ -50,16 +74,27 @@ func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
 		d.mask = nil
 		return x
 	}
-	out := NewMatrix(x.Rows, x.Cols)
-	d.mask = make([]float64, len(x.Data))
+	step := d.step
+	d.step++
+	d.out = ensureMatrix(d.out, x.Rows, x.Cols)
+	d.mask = ensureVec(d.mask, len(x.Data))
 	keepScale := 1 / (1 - d.P)
-	for i, v := range x.Data {
-		if d.r.Float64() >= d.P {
-			d.mask[i] = keepScale
-			out.Data[i] = v * keepScale
+	for i := 0; i < x.Rows; i++ {
+		d.rw.SeedStream(d.seed, step<<32|uint64(d.rowOff+i))
+		row := x.Row(i)
+		orow := d.out.Row(i)
+		mrow := d.mask[i*x.Cols : (i+1)*x.Cols]
+		for j, v := range row {
+			if d.rw.Float64() >= d.P {
+				mrow[j] = keepScale
+				orow[j] = v * keepScale
+			} else {
+				mrow[j] = 0
+				orow[j] = 0
+			}
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward routes gradients through the surviving units.
@@ -68,11 +103,23 @@ func (d *Dropout) Backward(grad *Matrix) *Matrix {
 		// Forward ran in inference mode or with P = 0: identity.
 		return grad
 	}
-	out := NewMatrix(grad.Rows, grad.Cols)
+	d.gout = ensureMatrix(d.gout, grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
-		out.Data[i] = g * d.mask[i]
+		d.gout.Data[i] = g * d.mask[i]
 	}
-	return out
+	return d.gout
+}
+
+// cloneForTrain returns a training replica sharing the positional mask
+// seed, so replicated shards reproduce the serial draws exactly.
+func (d *Dropout) cloneForTrain(bool) Layer {
+	return &Dropout{P: d.P, Dim: d.Dim, seed: d.seed}
+}
+
+// cloneForEval returns an inference replica (dropout is the identity at
+// inference, so only the shape metadata matters).
+func (d *Dropout) cloneForEval() Layer {
+	return &Dropout{P: d.P, Dim: d.Dim, seed: d.seed}
 }
 
 // LRScheduler is implemented by optimizers whose learning rate can be

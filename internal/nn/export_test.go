@@ -1,0 +1,15 @@
+package nn
+
+// Test-only bridges to the unexported training-engine internals, for
+// the external nn_test package (which can import testkit — package nn
+// itself cannot, because testkit depends on internal/core).
+
+// FitShards exposes the canonical shard count to tests.
+const FitShards = fitShards
+
+// ReduceGradTree exposes the fixed-order gradient tree reduction.
+func ReduceGradTree(grads [][][]float64) { reduceGradTree(grads) }
+
+// HasShardedFitState reports whether the last Fit call trained through
+// the sharded engine (false: legacy whole-batch path).
+func (n *Network) HasShardedFitState() bool { return n.fit != nil }

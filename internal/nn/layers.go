@@ -43,6 +43,15 @@ type Dense struct {
 	w, b    *Param
 	x       *Matrix // cached input
 	out     *Matrix // training-time output scratch, reused across steps
+	dx      *Matrix // backward input-gradient scratch, reused across steps
+	wm      Matrix  // weight-view header, avoids a heap allocation per call
+
+	// Replica flags (see cloneForTrain/cloneForEval): replicas reuse
+	// the output scratch in inference mode too, and training replicas
+	// run the single-goroutine kernels because the engine's shards are
+	// already the parallelism.
+	scratchEval bool
+	seq         bool
 }
 
 // NewDense creates a Dense layer with Glorot-uniform weights drawn from
@@ -85,14 +94,19 @@ func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: %s got input width %d", d.Name(), x.Cols))
 	}
-	wm := &Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
+	d.wm = Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
+	wm := &d.wm
 	var out *Matrix
-	if train {
-		d.x = x
-		if d.out == nil || d.out.Rows != x.Rows {
-			d.out = NewMatrix(x.Rows, d.Out)
+	if train || d.scratchEval {
+		if train {
+			d.x = x
 		}
-		out = MulInto(d.out, x, wm)
+		d.out = ensureMatrix(d.out, x.Rows, d.Out)
+		if d.seq {
+			out = mulIntoSeq(d.out, x, wm)
+		} else {
+			out = MulInto(d.out, x, wm)
+		}
 	} else {
 		out = Mul(x, wm)
 	}
@@ -100,20 +114,48 @@ func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
 	return out
 }
 
-// Backward accumulates dW = xᵀ·g, db = Σ g and returns dx = g·Wᵀ.
+// Backward accumulates dW = xᵀ·g, db = Σ g and returns dx = g·Wᵀ. The
+// transposed-gradient product lands directly in the weight gradient and
+// the returned matrix is a per-layer scratch buffer (valid until the
+// next Backward call), so the steady-state hot loop allocates nothing.
 func (d *Dense) Backward(grad *Matrix) *Matrix {
 	if d.x == nil {
 		panic("nn: Dense.Backward before Forward(train=true)")
 	}
-	dw := MulTN(d.x, grad)
-	for i, v := range dw.Data {
-		d.w.Grad[i] += v
+	d.wm = Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
+	wm := &d.wm
+	d.dx = ensureMatrix(d.dx, grad.Rows, d.In)
+	if d.seq {
+		mulTNAccSeq(d.w.Grad, d.x, grad)
+		colSumsAcc(d.b.Grad, grad)
+		return mulNTIntoSeq(d.dx, grad, wm)
 	}
-	for j, v := range grad.ColSums() {
-		d.b.Grad[j] += v
+	MulTNAcc(d.w.Grad, d.x, grad)
+	colSumsAcc(d.b.Grad, grad)
+	return MulNTInto(d.dx, grad, wm)
+}
+
+// cloneForTrain returns a training replica sharing this layer's weights
+// but owning its caches and (engine-bound) gradient buffers.
+func (d *Dense) cloneForTrain(seq bool) Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		w:           &Param{Name: d.w.Name, W: d.w.W},
+		b:           &Param{Name: d.b.Name, W: d.b.W},
+		scratchEval: true,
+		seq:         seq,
 	}
-	wm := &Matrix{Rows: d.In, Cols: d.Out, Data: d.w.W}
-	return MulNT(grad, wm)
+}
+
+// cloneForEval returns an inference replica sharing weights but owning
+// reusable output scratch, for Predictor's allocation-free batches.
+func (d *Dense) cloneForEval() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		w:           &Param{Name: d.w.Name, W: d.w.W},
+		b:           &Param{Name: d.b.Name, W: d.b.W},
+		scratchEval: true,
+	}
 }
 
 // SetWeights overwrites the layer weights; used by tests and
@@ -131,6 +173,10 @@ type Activation struct {
 	Kind ActKind
 	Dim  int
 	x    *Matrix
+	out  *Matrix // forward scratch (training, and inference on replicas)
+	gout *Matrix // backward scratch
+
+	scratchEval bool
 }
 
 // ActKind enumerates the supported activation functions.
@@ -225,15 +271,23 @@ func actGrad(kind ActKind, v float64) float64 {
 	panic("nn: unknown activation")
 }
 
-// Forward applies the nonlinearity elementwise.
+// Forward applies the nonlinearity elementwise. Training passes (and
+// inference on replicas) reuse a per-layer scratch buffer; the value is
+// consumed within the step, so the reuse is invisible to callers.
 func (a *Activation) Forward(x *Matrix, train bool) *Matrix {
 	if a.Dim > 0 && x.Cols != a.Dim {
 		panic(fmt.Sprintf("nn: %s got input width %d, want %d", a.Name(), x.Cols, a.Dim))
 	}
-	if train {
-		a.x = x
+	var out *Matrix
+	if train || a.scratchEval {
+		if train {
+			a.x = x
+		}
+		a.out = ensureMatrix(a.out, x.Rows, x.Cols)
+		out = a.out
+	} else {
+		out = NewMatrix(x.Rows, x.Cols)
 	}
-	out := NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = actForward(a.Kind, v)
 	}
@@ -241,14 +295,26 @@ func (a *Activation) Forward(x *Matrix, train bool) *Matrix {
 }
 
 // Backward multiplies the incoming gradient by the activation's
-// derivative at the cached input.
+// derivative at the cached input. The returned matrix is a per-layer
+// scratch buffer, valid until the next Backward call.
 func (a *Activation) Backward(grad *Matrix) *Matrix {
 	if a.x == nil {
 		panic("nn: Activation.Backward before Forward(train=true)")
 	}
-	out := NewMatrix(grad.Rows, grad.Cols)
+	a.gout = ensureMatrix(a.gout, grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
-		out.Data[i] = g * actGrad(a.Kind, a.x.Data[i])
+		a.gout.Data[i] = g * actGrad(a.Kind, a.x.Data[i])
 	}
-	return out
+	return a.gout
+}
+
+// cloneForTrain returns a training replica (activations carry no
+// weights, only scratch).
+func (a *Activation) cloneForTrain(bool) Layer {
+	return &Activation{Kind: a.Kind, Dim: a.Dim, scratchEval: true}
+}
+
+// cloneForEval returns an inference replica with reusable scratch.
+func (a *Activation) cloneForEval() Layer {
+	return &Activation{Kind: a.Kind, Dim: a.Dim, scratchEval: true}
 }

@@ -8,7 +8,16 @@ import (
 // Softmax converts logits to row-stochastic probabilities, numerically
 // stabilized by subtracting each row's maximum.
 func Softmax(logits *Matrix) *Matrix {
-	out := NewMatrix(logits.Rows, logits.Cols)
+	return softmaxInto(NewMatrix(logits.Rows, logits.Cols), logits)
+}
+
+// softmaxInto is Softmax into a caller-owned buffer, the allocation-free
+// form the training loops use. out may not alias logits.
+func softmaxInto(out, logits *Matrix) *Matrix {
+	if out.Rows != logits.Rows || out.Cols != logits.Cols {
+		panic(fmt.Sprintf("nn: softmaxInto output is %d×%d, want %d×%d",
+			out.Rows, out.Cols, logits.Rows, logits.Cols))
+	}
 	for i := 0; i < logits.Rows; i++ {
 		row := logits.Row(i)
 		max := math.Inf(-1)

@@ -64,6 +64,47 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// ensureMatrix reshapes m to r×c, reusing the backing array whenever it
+// has capacity, so steady-state training loops stop allocating once the
+// largest batch shape has been seen. Contents are unspecified; every
+// kernel writing into an ensured matrix overwrites (or zeroes) it.
+func ensureMatrix(m *Matrix, r, c int) *Matrix {
+	if m != nil && m.Rows == r && m.Cols == c {
+		return m
+	}
+	if m != nil && cap(m.Data) >= r*c {
+		m.Rows, m.Cols = r, c
+		m.Data = m.Data[:r*c]
+		return m
+	}
+	return NewMatrix(r, c)
+}
+
+// ensureVec reslices v to length n, reusing capacity. Contents are
+// unspecified; callers overwrite or zero.
+func ensureVec(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
+func zeroFloats(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// addFloats accumulates src into dst elementwise. It is the primitive
+// the training engine's fixed-order gradient tree reduction is built
+// from: each element's accumulation chain is a function of the operand
+// order alone, never of goroutine scheduling.
+func addFloats(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
 // parallelRows runs fn over row ranges [lo, hi) on up to GOMAXPROCS
 // goroutines. Small matrices run inline to avoid scheduling overhead.
 func parallelRows(rows int, work int, fn func(lo, hi int)) {
@@ -118,102 +159,123 @@ func Mul(a, b *Matrix) *Matrix {
 // overflows L2. Rows of A equal to zero are skipped entirely, which
 // roughly halves the work on the 0/1 difference-bit input layer.
 func MulInto(out, a, b *Matrix) *Matrix {
+	checkMulInto(out, a, b)
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		mulRange(out, a, b, lo, hi)
+	})
+	return out
+}
+
+// mulIntoSeq is MulInto pinned to the calling goroutine. The training
+// engine's workers use it so that sharded forward passes never nest a
+// goroutine fan-out inside a goroutine (the shards themselves are the
+// parallelism). The arithmetic is identical to MulInto: the parallel
+// kernel only ever splits work at row granularity.
+func mulIntoSeq(out, a, b *Matrix) *Matrix {
+	checkMulInto(out, a, b)
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	mulRange(out, a, b, 0, a.Rows)
+	return out
+}
+
+func checkMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MulInto shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MulInto output is %d×%d, want %d×%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	for i := range out.Data {
-		out.Data[i] = 0
-	}
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for kb := 0; kb < a.Cols; kb += mulKBlock {
-			ke := kb + mulKBlock
-			if ke > a.Cols {
-				ke = a.Cols
-			}
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*a.Cols+kb : i*a.Cols+ke]
-				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-				for kk, av := range arow {
-					if av == 0 {
-						continue
-					}
-					k := kb + kk
-					brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
-				}
-			}
-		}
-	})
-	return out
 }
 
-// MulTN returns Aᵀ·B. A is n×k (so Aᵀ is k×n), B is n×m.
-func MulTN(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("nn: MulTN shape mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewMatrix(a.Cols, b.Cols)
-	// Accumulate per-worker partials to avoid write contention on out.
-	workers := runtime.GOMAXPROCS(0)
-	work := a.Rows * a.Cols * b.Cols
-	if workers <= 1 || work < 1<<15 || a.Rows < workers {
-		for n := 0; n < a.Rows; n++ {
-			arow := a.Data[n*a.Cols : (n+1)*a.Cols]
-			brow := b.Data[n*b.Cols : (n+1)*b.Cols]
-			for i, av := range arow {
+// mulRange accumulates rows [lo, hi) of A·B into out. Each output row
+// is a chain over k in ascending block order, independent of how rows
+// are partitioned across workers.
+func mulRange(out, a, b *Matrix, lo, hi int) {
+	for kb := 0; kb < a.Cols; kb += mulKBlock {
+		ke := kb + mulKBlock
+		if ke > a.Cols {
+			ke = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols+kb : i*a.Cols+ke]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for kk, av := range arow {
 				if av == 0 {
 					continue
 				}
-				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				k := kb + kk
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 				for j, bv := range brow {
 					orow[j] += av * bv
 				}
 			}
 		}
-		return out
 	}
-	var wg sync.WaitGroup
-	partials := make([][]float64, workers)
-	chunk := (a.Rows + workers - 1) / workers
-	w := 0
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			part := make([]float64, len(out.Data))
-			for n := lo; n < hi; n++ {
-				arow := a.Data[n*a.Cols : (n+1)*a.Cols]
-				brow := b.Data[n*b.Cols : (n+1)*b.Cols]
-				for i, av := range arow {
-					if av == 0 {
-						continue
-					}
-					prow := part[i*out.Cols : (i+1)*out.Cols]
-					for j, bv := range brow {
-						prow[j] += av * bv
-					}
-				}
-			}
-			partials[w] = part
-		}(w, lo, hi)
-		w++
-	}
-	wg.Wait()
-	for _, part := range partials[:w] {
-		for i, v := range part {
-			out.Data[i] += v
-		}
-	}
+}
+
+// MulTN returns Aᵀ·B. A is n×k (so Aᵀ is k×n), B is n×m.
+func MulTN(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Cols, b.Cols)
+	MulTNAcc(out.Data, a, b)
 	return out
+}
+
+// MulTNAcc accumulates Aᵀ·B into the flat k×m buffer acc — the shape a
+// Dense weight gradient already has, so backward passes add the
+// transposed-gradient product straight into Param.Grad without a
+// temporary. Parallelism partitions the *output* rows: every element's
+// accumulation chain runs over the n samples in ascending order
+// regardless of GOMAXPROCS or partition, so the result is bitwise
+// identical at any worker count. (The previous implementation merged
+// per-worker partial matrices in a GOMAXPROCS-dependent grouping, which
+// made trained weights machine-dependent.)
+func MulTNAcc(acc []float64, a, b *Matrix) {
+	checkMulTN(acc, a, b)
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		mulTNAccRange(acc, a, b, lo, hi)
+	})
+}
+
+// mulTNAccSeq is MulTNAcc pinned to the calling goroutine; see
+// mulIntoSeq for why the training engine's workers need it.
+func mulTNAccSeq(acc []float64, a, b *Matrix) {
+	checkMulTN(acc, a, b)
+	mulTNAccRange(acc, a, b, 0, a.Cols)
+}
+
+func checkMulTN(acc []float64, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: MulTN shape mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if len(acc) != a.Cols*b.Cols {
+		panic(fmt.Sprintf("nn: MulTN accumulator has %d elements, want %d×%d", len(acc), a.Cols, b.Cols))
+	}
+}
+
+// mulTNAccRange accumulates output rows [lo, hi) of Aᵀ·B into acc,
+// sample-outer so each accumulator element sees samples in ascending
+// order. Rows of the accumulator stay hot across the sweep and the
+// zero-skip on A entries keeps the 0/1 difference-bit inputs cheap.
+func mulTNAccRange(acc []float64, a, b *Matrix, lo, hi int) {
+	for n := 0; n < a.Rows; n++ {
+		arow := a.Data[n*a.Cols : (n+1)*a.Cols]
+		brow := b.Data[n*b.Cols : (n+1)*b.Cols]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := acc[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
 }
 
 // MulNT returns A·Bᵀ. A is n×k, B is m×k.
@@ -230,15 +292,36 @@ func MulNT(a, b *Matrix) *Matrix {
 // time) so the panel being dotted stays cache-resident across every
 // row of A, and unrolls the dot product four-wide.
 func MulNTInto(out, a, b *Matrix) *Matrix {
+	checkMulNTInto(out, a, b)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		mulNTRange(out, a, b, lo, hi)
+	})
+	return out
+}
+
+// mulNTIntoSeq is MulNTInto pinned to the calling goroutine; see
+// mulIntoSeq for why the training engine's workers need it.
+func mulNTIntoSeq(out, a, b *Matrix) *Matrix {
+	checkMulNTInto(out, a, b)
+	mulNTRange(out, a, b, 0, a.Rows)
+	return out
+}
+
+func checkMulNTInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MulNTInto shape mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MulNTInto output is %d×%d, want %d×%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
+}
+
+// mulNTRange computes rows [lo, hi) of A·Bᵀ into out. Every element is
+// an independent dot product, so any row partition is bitwise identical.
+func mulNTRange(out, a, b *Matrix, lo, hi int) {
 	k := a.Cols
 	k4 := k &^ 3
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+	{
 		for jb := 0; jb < b.Rows; jb += mulJBlock {
 			je := jb + mulJBlock
 			if je > b.Rows {
@@ -264,8 +347,7 @@ func MulNTInto(out, a, b *Matrix) *Matrix {
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // AddRowVector adds vector v (length Cols) to every row of m in place.
@@ -291,6 +373,22 @@ func (m *Matrix) ColSums() []float64 {
 		}
 	}
 	return out
+}
+
+// colSumsAcc accumulates the per-column sums of m into dst (length
+// Cols), the allocation-free form of ColSums used by backward passes to
+// add bias gradients straight into Param.Grad. The accumulation chain
+// over rows is identical to ColSums.
+func colSumsAcc(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("nn: colSumsAcc length %d != cols %d", len(dst), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
 }
 
 // Scale multiplies every element in place.

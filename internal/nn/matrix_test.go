@@ -243,4 +243,3 @@ func TestMulIntoShapePanics(t *testing.T) {
 		}()
 	}
 }
-

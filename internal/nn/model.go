@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/prng"
@@ -11,6 +12,7 @@ import (
 // cross-entropy. The last layer's OutDim is the class count.
 type Network struct {
 	layers []Layer
+	fit    *fitState // cached sharded training engine (see parallel.go)
 }
 
 // NewNetwork validates that consecutive layer dimensions chain and
@@ -125,6 +127,13 @@ type FitConfig struct {
 	// start of each epoch (the optimizer must implement LRScheduler;
 	// both SGD and Adam do). See CyclicLR.
 	LRSchedule func(epoch int) float64
+	// Workers is the number of goroutines sharing each mini-batch's
+	// forward/backward work. 0 means GOMAXPROCS; values above the
+	// engine's canonical shard count (8) are clamped. Training results
+	// are byte-identical at every worker count — see parallel.go.
+	// Networks containing batch-coupled layers (BatchNorm, LSTM) ignore
+	// this and train on the serial whole-batch path.
+	Workers int
 }
 
 // History records per-epoch training metrics.
@@ -166,14 +175,78 @@ func (n *Network) Fit(x *Matrix, y []int, cfg FitConfig) (*History, error) {
 		opt = NewAdam(0)
 	}
 
-	r := prng.New(cfg.Seed ^ 0xfeedface)
-	params := n.Params()
-	hist := &History{}
+	if cfg.LRSchedule != nil {
+		if _, ok := opt.(LRScheduler); !ok {
+			return nil, fmt.Errorf("nn: optimizer %s does not support learning-rate schedules", opt.Name())
+		}
+	}
 
+	r := prng.New(cfg.Seed ^ 0xfeedface)
 	order := make([]int, x.Rows)
 	for i := range order {
 		order[i] = i
 	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if st := n.shardedFitState(bs, x.Cols, workers); st != nil {
+		return n.fitSharded(st, x, y, order, bs, opt, r, cfg)
+	}
+	return n.fitWholeBatch(x, y, order, bs, opt, r, cfg)
+}
+
+// fitSharded is the data-parallel deterministic training loop: every
+// mini-batch is processed by the canonical shard engine in parallel.go,
+// so results are byte-identical at any worker count and the steady
+// state allocates nothing.
+func (n *Network) fitSharded(st *fitState, x *Matrix, y []int, order []int, bs int, opt Optimizer, r *prng.Rand, cfg FitConfig) (*History, error) {
+	params := st.netParams
+	hist := &History{}
+	st.startPool()
+	defer st.stopPool()
+	var step uint64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRSchedule != nil {
+			opt.(LRScheduler).SetLR(cfg.LRSchedule(epoch))
+		}
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		totalLoss, totalHit, seen := 0.0, 0, 0
+		for start := 0; start < x.Rows; start += bs {
+			end := start + bs
+			if end > x.Rows {
+				end = x.Rows
+			}
+			m := end - start
+			lossSum, hits := st.runStep(x, y, order, start, m, step)
+			step++
+			opt.Step(params)
+			totalLoss += lossSum
+			totalHit += hits
+			seen += m
+		}
+		epochLoss := totalLoss / float64(seen)
+		epochAcc := float64(totalHit) / float64(seen)
+		hist.Loss = append(hist.Loss, epochLoss)
+		hist.Acc = append(hist.Acc, epochAcc)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, epochLoss, epochAcc)
+		}
+	}
+	return hist, nil
+}
+
+// fitWholeBatch is the legacy serial training loop, kept for networks
+// whose train-mode forward pass couples rows across the whole batch
+// (BatchNorm, LSTM) and therefore cannot be sharded. Its numerics are
+// bit-for-bit those of the historical Fit implementation; the scratch
+// buffers below only remove per-step allocations.
+func (n *Network) fitWholeBatch(x *Matrix, y []int, order []int, bs int, opt Optimizer, r *prng.Rand, cfg FitConfig) (*History, error) {
+	params := n.Params()
+	hist := &History{}
+	classes := n.Classes()
+
 	bx := NewMatrix(bs, x.Cols)
 	by := make([]int, bs)
 	// The trailing partial batch has the same size every epoch; keep a
@@ -184,12 +257,10 @@ func (n *Network) Fit(x *Matrix, y []int, cfg FitConfig) (*History, error) {
 		pbx = NewMatrix(rem, x.Cols)
 		pby = make([]int, rem)
 	}
+	// One probability matrix serves both batch shapes: ensureMatrix
+	// reslices it down for the trailing partial batch.
+	probs := NewMatrix(bs, classes)
 
-	if cfg.LRSchedule != nil {
-		if _, ok := opt.(LRScheduler); !ok {
-			return nil, fmt.Errorf("nn: optimizer %s does not support learning-rate schedules", opt.Name())
-		}
-	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.LRSchedule != nil {
 			opt.(LRScheduler).SetLR(cfg.LRSchedule(epoch))
@@ -215,24 +286,35 @@ func (n *Network) Fit(x *Matrix, y []int, cfg FitConfig) (*History, error) {
 			}
 
 			logits := n.Forward(batchX, true)
-			probs := Softmax(logits)
+			probs = ensureMatrix(probs, m, classes)
+			softmaxInto(probs, logits)
 			loss := CrossEntropy(probs, batchY)
-			grad := SoftmaxCrossEntropyGrad(probs, batchY)
+			// Hits must be counted before the in-place gradient below
+			// overwrites the probabilities.
+			for i := 0; i < m; i++ {
+				if Argmax(probs.Row(i)) == batchY[i] {
+					totalHit++
+				}
+			}
+			// Gradient (softmax − onehot)/m in place of the probability
+			// scratch — elementwise identical to the historical
+			// clone-then-scale SoftmaxCrossEntropyGrad.
+			inv := 1 / float64(m)
+			for i, yv := range batchY {
+				probs.Data[i*classes+yv] -= 1
+			}
+			probs.Scale(inv)
 
 			for _, p := range params {
 				p.ZeroGrad()
 			}
+			grad := probs
 			for i := len(n.layers) - 1; i >= 0; i-- {
 				grad = n.layers[i].Backward(grad)
 			}
 			opt.Step(params)
 
 			totalLoss += loss * float64(m)
-			for i := 0; i < m; i++ {
-				if Argmax(probs.Row(i)) == batchY[i] {
-					totalHit++
-				}
-			}
 			seen += m
 		}
 		epochLoss := totalLoss / float64(seen)

@@ -1,0 +1,368 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the data-parallel deterministic training engine
+// and the allocation-free batched Predictor.
+//
+// Determinism contract (the same one GenerateDatasetParallel honors):
+// training results are byte-identical at any worker count. Floating-
+// point addition is not associative, so the engine never lets goroutine
+// scheduling pick an accumulation order. Instead every mini-batch is
+// cut into fitShards canonical virtual shards — a function of the batch
+// size alone — and:
+//
+//   - each shard's forward/backward runs on replica layers that share
+//     the network weights but own their caches, scratch buffers and a
+//     per-shard gradient accumulator, using single-goroutine kernels
+//     whose chains are fixed by the shard contents;
+//   - dropout masks are drawn from positional substreams keyed by
+//     (step, batch row), so sharding does not change mask draws;
+//   - shard gradients are merged by a fixed-order pairwise tree
+//     reduction over shard indices, and shard loss/hit tallies are
+//     merged in shard order.
+//
+// Workers claim shards from an atomic cursor (work stealing), but every
+// result lands in a shard-indexed slot, so which worker computed what —
+// and in which order shards complete — cannot affect a single bit of
+// the output. One worker replays the identical computation serially.
+
+// fitShards is the canonical number of virtual shards each mini-batch
+// is cut into. It bounds both the useful training parallelism and the
+// gradient-accumulator memory (fitShards−1 extra gradient sets). Eight
+// covers the 4-core ≥2× target with headroom while keeping the
+// per-shard matrices (16 rows of a 128-sample batch) large enough to
+// amortize kernel overheads.
+const fitShards = 8
+
+// trainCloner is implemented by layers that can replicate themselves
+// for sharded training: the replica shares weight slices with the
+// original but owns caches and (engine-bound) gradient buffers.
+// cloneForTrain returns nil when a particular instance cannot be
+// replicated (e.g. a Residual whose body contains BatchNorm).
+type trainCloner interface {
+	cloneForTrain(seq bool) Layer
+}
+
+// evalCloner is implemented by layers that can replicate themselves for
+// scratch-reusing batched inference.
+type evalCloner interface {
+	cloneForEval() Layer
+}
+
+// positional is implemented by layers whose training-time randomness is
+// positional (Dropout): the engine pins the (step, row-offset)
+// coordinates before each shard's forward pass.
+type positional interface {
+	setPos(step uint64, rowOff int)
+}
+
+// fitState is the reusable engine for one (batch size, width, workers)
+// shape. It is cached on the Network, so repeated Fit calls — and every
+// step after the first — run with zero steady-state allocations.
+type fitState struct {
+	bs, cols, classes, workers int
+
+	clones [][]Layer      // [worker][layer] training replicas
+	params [][]*Param     // [worker][param], aligned with netParams
+	pos    [][]positional // [worker] positional layers
+	in     []*Matrix      // [worker] shard input scratch
+	yb     [][]int        // [worker] shard label scratch
+	probs  []*Matrix      // [worker] shard probability scratch
+
+	netParams []*Param
+	grads     [][][]float64 // [shard][param]; grads[0][p] aliases netParams[p].Grad
+	lossSum   []float64     // [shard] Σ −log p, merged in shard order
+	hits      []int         // [shard] correct argmax count
+
+	// Per-step inputs, set by runStep before workers are released.
+	x     *Matrix
+	y     []int
+	order []int
+	start int
+	m     int
+	step  uint64
+
+	cursor  int64
+	startCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// shardedFitState returns the cached or freshly built engine for this
+// network, or nil when the network cannot be sharded (it contains a
+// batch-coupled or non-replicable layer: BatchNorm couples train-mode
+// statistics across the whole batch, and LSTM's BPTT caches are not
+// replicated). Those networks train on the legacy whole-batch path,
+// which ignores the worker count but remains deterministic.
+func (n *Network) shardedFitState(bs, cols, workers int) *fitState {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > fitShards {
+		workers = fitShards
+	}
+	if st := n.fit; st != nil && st.bs == bs && st.cols == cols && st.workers == workers {
+		return st
+	}
+	st := &fitState{bs: bs, cols: cols, classes: n.Classes(), workers: workers}
+	st.netParams = n.Params()
+	maxRows := (bs + fitShards - 1) / fitShards
+	for w := 0; w < workers; w++ {
+		layers := make([]Layer, len(n.layers))
+		for i, l := range n.layers {
+			tc, ok := l.(trainCloner)
+			if !ok {
+				return nil
+			}
+			cl := tc.cloneForTrain(true)
+			if cl == nil {
+				return nil
+			}
+			layers[i] = cl
+		}
+		var ps []*Param
+		var pls []positional
+		for _, l := range layers {
+			ps = append(ps, l.Params()...)
+			if p, ok := l.(positional); ok {
+				pls = append(pls, p)
+			}
+		}
+		if len(ps) != len(st.netParams) {
+			panic("nn: training replica parameter count mismatch")
+		}
+		st.clones = append(st.clones, layers)
+		st.params = append(st.params, ps)
+		st.pos = append(st.pos, pls)
+		st.in = append(st.in, NewMatrix(maxRows, cols))
+		st.yb = append(st.yb, make([]int, maxRows))
+		st.probs = append(st.probs, NewMatrix(maxRows, st.classes))
+	}
+	st.grads = make([][][]float64, fitShards)
+	st.lossSum = make([]float64, fitShards)
+	st.hits = make([]int, fitShards)
+	for v := range st.grads {
+		gs := make([][]float64, len(st.netParams))
+		for pi, p := range st.netParams {
+			if v == 0 {
+				// Shard 0's accumulator is the network's own gradient
+				// buffer: the tree reduction folds every other shard
+				// into it, so no final copy is needed before the
+				// optimizer step.
+				gs[pi] = p.Grad
+			} else {
+				gs[pi] = make([]float64, len(p.W))
+			}
+		}
+		st.grads[v] = gs
+	}
+	n.fit = st
+	return st
+}
+
+// startPool launches the persistent worker goroutines for one Fit call.
+// Steps hand out work through a channel token per worker, so the
+// steady-state step loop performs no allocations.
+func (st *fitState) startPool() {
+	if st.workers <= 1 || st.startCh != nil {
+		return
+	}
+	st.startCh = make(chan struct{}, st.workers)
+	for w := 1; w < st.workers; w++ {
+		go func(w int) {
+			for range st.startCh {
+				st.runWorker(w)
+				st.wg.Done()
+			}
+		}(w)
+	}
+}
+
+// stopPool releases the worker goroutines at the end of a Fit call.
+func (st *fitState) stopPool() {
+	if st.startCh != nil {
+		close(st.startCh)
+		st.startCh = nil
+	}
+}
+
+// runStep trains on rows order[start : start+m] of (x, y) as training
+// step `step`, leaving the merged gradients in the network parameters'
+// Grad buffers. It returns the summed cross-entropy (Σ −log p, not yet
+// divided by m) and the correct-prediction count.
+func (st *fitState) runStep(x *Matrix, y []int, order []int, start, m int, step uint64) (lossSum float64, hits int) {
+	st.x, st.y, st.order, st.start, st.m, st.step = x, y, order, start, m, step
+	atomic.StoreInt64(&st.cursor, 0)
+	if st.startCh != nil {
+		st.wg.Add(st.workers - 1)
+		for i := 1; i < st.workers; i++ {
+			st.startCh <- struct{}{}
+		}
+		st.runWorker(0)
+		st.wg.Wait()
+	} else {
+		st.runWorker(0)
+	}
+	reduceGradTree(st.grads)
+	for v := 0; v < fitShards; v++ {
+		lossSum += st.lossSum[v]
+		hits += st.hits[v]
+	}
+	return lossSum, hits
+}
+
+// reduceGradTree merges shard gradient accumulators into grads[0] by a
+// fixed-order pairwise tree: ((g0+g1)+(g2+g3)) + ((g4+g5)+(g6+g7)).
+// The order is a pure function of shard indices, so the merged bytes
+// are independent of which worker produced which accumulator and of
+// the order in which shards completed.
+func reduceGradTree(grads [][][]float64) {
+	for stride := 1; stride < len(grads); stride *= 2 {
+		for v := 0; v+stride < len(grads); v += 2 * stride {
+			a, b := grads[v], grads[v+stride]
+			for pi := range a {
+				addFloats(a[pi], b[pi])
+			}
+		}
+	}
+}
+
+// runWorker claims shards until the step's cursor is exhausted.
+func (st *fitState) runWorker(w int) {
+	for {
+		v := int(atomic.AddInt64(&st.cursor, 1)) - 1
+		if v >= fitShards {
+			return
+		}
+		st.runShard(w, v)
+	}
+}
+
+// runShard runs the forward/backward pass of canonical shard v on
+// worker w's replicas, accumulating into the shard's gradient slot.
+func (st *fitState) runShard(w, v int) {
+	gs := st.grads[v]
+	ps := st.params[w]
+	for pi := range ps {
+		ps[pi].Grad = gs[pi]
+		zeroFloats(gs[pi])
+	}
+	st.lossSum[v] = 0
+	st.hits[v] = 0
+	// Balanced contiguous shard bounds, a function of m alone.
+	lo := v * st.m / fitShards
+	hi := (v + 1) * st.m / fitShards
+	if lo == hi {
+		return
+	}
+	rows := hi - lo
+	bx := ensureMatrix(st.in[w], rows, st.cols)
+	st.in[w] = bx
+	yb := st.yb[w]
+	for k := 0; k < rows; k++ {
+		src := st.order[st.start+lo+k]
+		copy(bx.Row(k), st.x.Row(src))
+		yb[k] = st.y[src]
+	}
+	for _, p := range st.pos[w] {
+		p.setPos(st.step, lo)
+	}
+	out := bx
+	for _, l := range st.clones[w] {
+		out = l.Forward(out, true)
+	}
+	probs := ensureMatrix(st.probs[w], rows, st.classes)
+	st.probs[w] = probs
+	softmaxInto(probs, out)
+	const eps = 1e-12
+	loss, hits := 0.0, 0
+	for i := 0; i < rows; i++ {
+		yv := yb[i]
+		p := probs.At(i, yv)
+		if p < eps {
+			p = eps
+		}
+		loss -= math.Log(p)
+		if Argmax(probs.Row(i)) == yv {
+			hits++
+		}
+	}
+	st.lossSum[v] = loss
+	st.hits[v] = hits
+	// Softmax cross-entropy gradient in place: (softmax − onehot)/m,
+	// with m the full batch size — the loss is a mean over the batch,
+	// so every shard scales by the same constant.
+	inv := 1 / float64(st.m)
+	for i := 0; i < rows; i++ {
+		probs.Data[i*st.classes+yb[i]] -= 1
+	}
+	for i := range probs.Data {
+		probs.Data[i] *= inv
+	}
+	g := probs
+	layers := st.clones[w]
+	for i := len(layers) - 1; i >= 0; i-- {
+		g = layers[i].Backward(g)
+	}
+}
+
+// Predictor runs batched inference through replica layers that own
+// reusable scratch buffers, so chunked prediction loops (classifier
+// evaluation, the online distinguishing phase) stop allocating fresh
+// intermediate matrices per chunk. Results are bitwise identical to
+// Network.Predict. A Predictor is not safe for concurrent use; derive
+// one per goroutine with NewPredictor.
+type Predictor struct {
+	net    *Network
+	layers []Layer // nil: fall back to the allocating path (LSTM)
+}
+
+// NewPredictor builds a Predictor for the network. Networks with
+// non-replicable layers (LSTM) fall back to Network.Predict internally.
+func (n *Network) NewPredictor() *Predictor {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		ec, ok := l.(evalCloner)
+		if !ok {
+			return &Predictor{net: n}
+		}
+		cl := ec.cloneForEval()
+		if cl == nil {
+			return &Predictor{net: n}
+		}
+		layers[i] = cl
+	}
+	return &Predictor{net: n, layers: layers}
+}
+
+// PredictInto writes the argmax class of each row of x into dst,
+// growing it only if its capacity is insufficient, and returns the
+// resulting slice. Steady-state calls with a recycled dst and a stable
+// chunk shape perform no allocations.
+func (p *Predictor) PredictInto(dst []int, x *Matrix) []int {
+	if cap(dst) < x.Rows {
+		dst = make([]int, x.Rows)
+	}
+	dst = dst[:x.Rows]
+	if p.layers == nil {
+		copy(dst, p.net.Predict(x))
+		return dst
+	}
+	out := x
+	for _, l := range p.layers {
+		out = l.Forward(out, false)
+	}
+	for i := range dst {
+		dst[i] = Argmax(out.Row(i))
+	}
+	return dst
+}
+
+// Predict returns the argmax class of each row of x.
+func (p *Predictor) Predict(x *Matrix) []int {
+	return p.PredictInto(nil, x)
+}

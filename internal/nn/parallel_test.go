@@ -1,0 +1,385 @@
+package nn_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/prng"
+	"repro/internal/testkit"
+)
+
+// synthData builds a small deterministic binary-feature classification
+// set (label = OR of the first two bits, roughly balanced).
+func synthData(r *prng.Rand, samples, cols int) (*nn.Matrix, []int) {
+	rows := make([][]float64, samples)
+	y := make([]int, samples)
+	for i := range rows {
+		row := make([]float64, cols)
+		for j := range row {
+			row[j] = float64(r.Intn(2))
+		}
+		rows[i] = row
+		if row[0]+row[1] >= 1 {
+			y[i] = 1
+		}
+	}
+	return nn.FromRows(rows), y
+}
+
+// paramBits snapshots every trained scalar as its exact bit pattern.
+func paramBits(net *nn.Network) []uint64 {
+	var bits []uint64
+	for _, p := range net.Params() {
+		for _, w := range p.W {
+			bits = append(bits, math.Float64bits(w))
+		}
+	}
+	return bits
+}
+
+// fitFactories builds the network families that train on the sharded
+// engine, each from a fixed seed so repeated builds are identical.
+var fitFactories = []struct {
+	name  string
+	build func() *nn.Network
+}{
+	{"mlp-dropout", func() *nn.Network {
+		r := prng.New(41)
+		net, err := nn.NewNetwork(
+			nn.NewDense(12, 16, r),
+			nn.NewActivation(nn.ReLU, 16),
+			nn.NewDropout(0.3, 16, 7),
+			nn.NewDense(16, 2, r),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}},
+	{"mlp-leaky", func() *nn.Network {
+		r := prng.New(42)
+		net, err := nn.MLP(12, []int{16, 8}, 2, nn.LeakyReLU, r)
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}},
+	{"cnn", func() *nn.Network {
+		r := prng.New(43)
+		c := nn.NewConv1D(12, 1, 4, 3, r)
+		net, err := nn.NewNetwork(
+			c,
+			nn.NewActivation(nn.ReLU, c.OutDim()),
+			nn.NewDense(c.OutDim(), 2, r),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}},
+	{"residual-dense", func() *nn.Network {
+		r := prng.New(44)
+		body, err := nn.NewResidual(
+			nn.NewDense(12, 12, r),
+			nn.NewActivation(nn.ReLU, 12),
+		)
+		if err != nil {
+			panic(err)
+		}
+		net, err := nn.NewNetwork(body, nn.NewDense(12, 2, r))
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}},
+}
+
+// trainWith builds the factory's network and fits it with the given
+// worker count on a dataset sized to exercise partial trailing batches
+// (25 samples, batch 10) and empty canonical shards (5-row batches cut
+// into 8 shards).
+func trainWith(t *testing.T, build func() *nn.Network, workers int) (*nn.Network, *nn.History) {
+	t.Helper()
+	net := build()
+	r := prng.New(1234)
+	x, y := synthData(r, 25, 12)
+	hist, err := net.Fit(x, y, nn.FitConfig{
+		Epochs: 3, BatchSize: 10, Seed: 99, Workers: workers,
+	})
+	if err != nil {
+		t.Fatalf("Fit(workers=%d): %v", workers, err)
+	}
+	return net, hist
+}
+
+// TestFitParallelByteIdentical is the engine's core regression: trained
+// weights and per-epoch history must match serial training bit for bit
+// at every worker count, for every shardable layer family (including
+// dropout, whose masks are positional).
+func TestFitParallelByteIdentical(t *testing.T) {
+	for _, nf := range fitFactories {
+		t.Run(nf.name, func(t *testing.T) {
+			refNet, refHist := trainWith(t, nf.build, 1)
+			if !refNet.HasShardedFitState() {
+				t.Fatalf("%s did not train on the sharded engine", nf.name)
+			}
+			ref := paramBits(refNet)
+			for _, w := range []int{4, 7} {
+				net, hist := trainWith(t, nf.build, w)
+				got := paramBits(net)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("workers=%d: param scalar %d = %x, serial %x", w, i, got[i], ref[i])
+					}
+				}
+				for e := range refHist.Loss {
+					if math.Float64bits(hist.Loss[e]) != math.Float64bits(refHist.Loss[e]) ||
+						math.Float64bits(hist.Acc[e]) != math.Float64bits(refHist.Acc[e]) {
+						t.Fatalf("workers=%d: epoch %d history (%v, %v) != serial (%v, %v)",
+							w, e, hist.Loss[e], hist.Acc[e], refHist.Loss[e], refHist.Acc[e])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFitWorkersZeroMeansGOMAXPROCS: the default worker count must also
+// land on the engine and produce the canonical bytes.
+func TestFitWorkersZeroMeansGOMAXPROCS(t *testing.T) {
+	build := fitFactories[0].build
+	refNet, _ := trainWith(t, build, 1)
+	defNet, _ := trainWith(t, build, 0)
+	ref, got := paramBits(refNet), paramBits(defNet)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("Workers=0 diverged from serial at scalar %d", i)
+		}
+	}
+	if !defNet.HasShardedFitState() {
+		t.Fatal("Workers=0 did not use the sharded engine")
+	}
+}
+
+// TestFitBatchNormFallsBackToLegacy: batch-coupled networks must ignore
+// Workers and train identically on the whole-batch path.
+func TestFitBatchNormFallsBackToLegacy(t *testing.T) {
+	build := func() *nn.Network {
+		r := prng.New(45)
+		net, err := nn.NewNetwork(
+			nn.NewDense(12, 8, r),
+			nn.NewBatchNorm(8),
+			nn.NewActivation(nn.ReLU, 8),
+			nn.NewDense(8, 2, r),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	refNet, _ := trainWith(t, build, 1)
+	if refNet.HasShardedFitState() {
+		t.Fatal("BatchNorm network unexpectedly trained on the sharded engine")
+	}
+	parNet, _ := trainWith(t, build, 4)
+	ref, got := paramBits(refNet), paramBits(parNet)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("legacy fallback diverged between worker counts at scalar %d", i)
+		}
+	}
+}
+
+// TestReduceGradTreePermutationInvariant: the merged gradient bytes are
+// a function of shard slot contents alone. Workers write their shards'
+// accumulators concurrently in an arbitrary completion order; the
+// fixed-order tree must reduce them to exactly the bytes of a serial
+// fill-and-reduce.
+func TestReduceGradTreePermutationInvariant(t *testing.T) {
+	type shardSet struct {
+		Vecs [][]float64 // [fitShards] one flat accumulator per shard
+		Perm []int       // completion order of the shard writes
+	}
+	gen := testkit.Gen[shardSet]{
+		Name: "shard gradient set",
+		Generate: func(r *prng.Rand) shardSet {
+			n := 1 + r.Intn(6)
+			s := shardSet{Vecs: make([][]float64, nn.FitShards), Perm: r.Perm(nn.FitShards)}
+			for v := range s.Vecs {
+				vec := make([]float64, n)
+				for i := range vec {
+					vec[i] = r.NormFloat64()
+				}
+				s.Vecs[v] = vec
+			}
+			return s
+		},
+		Format: func(s shardSet) string {
+			return fmt.Sprintf("perm=%v vecs=%v", s.Perm, s.Vecs)
+		},
+	}
+	slots := func(s shardSet) [][][]float64 {
+		g := make([][][]float64, nn.FitShards)
+		for v := range g {
+			g[v] = [][]float64{append([]float64(nil), s.Vecs[v]...)}
+		}
+		return g
+	}
+	testkit.Check(t, "gradient tree reduction is completion-order invariant", gen, func(s shardSet) error {
+		ref := slots(s)
+		nn.ReduceGradTree(ref)
+
+		got := slots(s)
+		var wg sync.WaitGroup
+		for _, v := range s.Perm {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				copy(got[v][0], s.Vecs[v]) // concurrent slot write, shard-addressed
+			}(v)
+		}
+		wg.Wait()
+		nn.ReduceGradTree(got)
+		for i := range ref[0][0] {
+			if math.Float64bits(got[0][0][i]) != math.Float64bits(ref[0][0][i]) {
+				return fmt.Errorf("element %d: %x != %x", i, math.Float64bits(got[0][0][i]), math.Float64bits(ref[0][0][i]))
+			}
+		}
+		return nil
+	})
+}
+
+// TestPredictorMatchesPredict: the scratch-reusing Predictor must agree
+// with Network.Predict across layer families and chunk shapes,
+// including the shrink-then-grow reslice path.
+func TestPredictorMatchesPredict(t *testing.T) {
+	r := prng.New(77)
+	nets := map[string]*nn.Network{}
+
+	mlp, err := nn.NewNetwork(
+		nn.NewDense(12, 16, r),
+		nn.NewActivation(nn.ReLU, 16),
+		nn.NewDropout(0.2, 16, 3),
+		nn.NewDense(16, 2, r),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["mlp-dropout"] = mlp
+
+	c := nn.NewConv1D(12, 1, 4, 3, r)
+	cnn, err := nn.NewNetwork(c, nn.NewActivation(nn.ReLU, c.OutDim()), nn.NewDense(c.OutDim(), 2, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["cnn"] = cnn
+
+	gohr, err := nn.GohrNet(12, 4, 4, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["gohrnet-batchnorm"] = gohr
+
+	l := nn.NewLSTM(4, 3, 6, r)
+	lstm, err := nn.NewNetwork(l, nn.NewDense(6, 2, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["lstm-fallback"] = lstm
+
+	x, y := synthData(prng.New(31), 40, 12)
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			// Train briefly so weights and (for GohrNet) running batch
+			// statistics are nontrivial.
+			if _, err := net.Fit(x, y, nn.FitConfig{Epochs: 1, BatchSize: 10, Seed: 5, Workers: 2}); err != nil {
+				t.Fatal(err)
+			}
+			p := net.NewPredictor()
+			var buf []int
+			for _, chunk := range [][2]int{{0, 24}, {24, 31}, {31, 40}, {0, 16}} {
+				sub := nn.FromRows(rowsOf(x, chunk[0], chunk[1]))
+				want := net.Predict(sub)
+				buf = p.PredictInto(buf, sub)
+				for i := range want {
+					if buf[i] != want[i] {
+						t.Fatalf("chunk %v row %d: Predictor %d != Predict %d", chunk, i, buf[i], want[i])
+					}
+				}
+				got := p.Predict(sub)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("chunk %v row %d: Predictor.Predict %d != Predict %d", chunk, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// rowsOf copies rows [lo, hi) of m into a fresh slice-of-rows.
+func rowsOf(m *nn.Matrix, lo, hi int) [][]float64 {
+	rows := make([][]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		rows = append(rows, append([]float64(nil), m.Row(i)...))
+	}
+	return rows
+}
+
+// TestFitShardedSteadyStateAllocs: after the first Fit call has built
+// the engine and scratch, further Fit calls allocate only the
+// per-call bookkeeping (order slice, history, PRNG) — nothing per step.
+func TestFitShardedSteadyStateAllocs(t *testing.T) {
+	build := fitFactories[1].build // plain MLP, no dropout mask noise
+	net := build()
+	r := prng.New(8)
+	x, y := synthData(r, 256, 12)
+	// A persistent optimizer is part of the steady state: its moment
+	// slices are keyed by parameter identity and reused across calls.
+	cfg := nn.FitConfig{Epochs: 1, BatchSize: 32, Seed: 3, Workers: 1, Optimizer: nn.NewAdam(0)}
+	if _, err := net.Fit(x, y, cfg); err != nil {
+		t.Fatal(err)
+	}
+	steps := 8.0 // 256 rows / batch 32
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := net.Fit(x, y, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per-call bookkeeping (shuffle order, History, PRNG) is allowed;
+	// nothing may allocate per training step.
+	if perStep := allocs / steps; perStep > 1 {
+		t.Fatalf("steady-state Fit allocated %.1f objects over %v steps (%.2f/step); want ≤ 1/step", allocs, steps, perStep)
+	}
+}
+
+// BenchmarkFit measures one training epoch of the Table 3 Gimli MLP
+// shape (128-bit difference features) at serial and parallel worker
+// counts. Steady state reuses the cached engine, so allocs/op stays at
+// the per-call bookkeeping floor.
+func BenchmarkFit(b *testing.B) {
+	x, y := synthData(prng.New(3), 1024, 128)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			r := prng.New(5)
+			net, err := nn.MLP(128, []int{128, 128}, 2, nn.ReLU, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := nn.FitConfig{Epochs: 1, BatchSize: 128, Seed: 9, Workers: w, Optimizer: nn.NewAdam(0)}
+			if _, err := net.Fit(x, y, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.Fit(x, y, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

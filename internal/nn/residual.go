@@ -14,6 +14,10 @@ import (
 type Residual struct {
 	Body []Layer
 	dim  int
+	out  *Matrix // forward scratch
+	gout *Matrix // backward scratch
+
+	scratchEval bool
 }
 
 // NewResidual validates that the body maps dim → dim and wraps it.
@@ -61,24 +65,79 @@ func (r *Residual) Forward(x *Matrix, train bool) *Matrix {
 	for _, l := range r.Body {
 		y = l.Forward(y, train)
 	}
-	out := NewMatrix(x.Rows, x.Cols)
+	var out *Matrix
+	if train || r.scratchEval {
+		r.out = ensureMatrix(r.out, x.Rows, x.Cols)
+		out = r.out
+	} else {
+		out = NewMatrix(x.Rows, x.Cols)
+	}
 	for i := range out.Data {
 		out.Data[i] = x.Data[i] + y.Data[i]
 	}
 	return out
 }
 
-// Backward routes the gradient through both the body and the skip.
+// Backward routes the gradient through both the body and the skip. The
+// returned matrix is a per-layer scratch buffer.
 func (r *Residual) Backward(grad *Matrix) *Matrix {
 	g := grad
 	for i := len(r.Body) - 1; i >= 0; i-- {
 		g = r.Body[i].Backward(g)
 	}
-	out := NewMatrix(grad.Rows, grad.Cols)
-	for i := range out.Data {
-		out.Data[i] = grad.Data[i] + g.Data[i]
+	r.gout = ensureMatrix(r.gout, grad.Rows, grad.Cols)
+	for i := range r.gout.Data {
+		r.gout.Data[i] = grad.Data[i] + g.Data[i]
 	}
-	return out
+	return r.gout
+}
+
+// cloneForTrain replicates the block if every body layer is
+// replicable; a body containing a batch-coupled layer (BatchNorm, as in
+// GohrNet) returns nil, sending the whole network to the legacy
+// serial training path.
+func (r *Residual) cloneForTrain(seq bool) Layer {
+	body := make([]Layer, len(r.Body))
+	for i, l := range r.Body {
+		tc, ok := l.(trainCloner)
+		if !ok {
+			return nil
+		}
+		cl := tc.cloneForTrain(seq)
+		if cl == nil {
+			return nil
+		}
+		body[i] = cl
+	}
+	return &Residual{Body: body, dim: r.dim, scratchEval: true}
+}
+
+// cloneForEval replicates the block for inference (BatchNorm bodies
+// are fine here: inference normalizes row-wise by running statistics).
+func (r *Residual) cloneForEval() Layer {
+	body := make([]Layer, len(r.Body))
+	for i, l := range r.Body {
+		ec, ok := l.(evalCloner)
+		if !ok {
+			return nil
+		}
+		cl := ec.cloneForEval()
+		if cl == nil {
+			return nil
+		}
+		body[i] = cl
+	}
+	return &Residual{Body: body, dim: r.dim, scratchEval: true}
+}
+
+// setPos forwards the positional mask coordinates to any dropout
+// layers inside the body.
+func (r *Residual) setPos(step uint64, rowOff int) {
+	for _, l := range r.Body {
+		if p, ok := l.(positional); ok {
+			p.setPos(step, rowOff)
+		}
+	}
 }
 
 // GohrNet builds a small residual tower in the style of Gohr's

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Performance-tracking harness: runs the hot-path benchmarks (training
+# engine, dataset generation, batched inference, matrix kernels) with
+# -benchmem, snapshots the results as BENCH_<date>.json via
+# cmd/benchdiff, and prints the drift against the most recent previous
+# snapshot. Committed BENCH_*.json files form the repo's performance
+# trajectory.
+#
+# Environment knobs:
+#   BENCH_DATE=YYYYMMDD  snapshot stamp (default: today)
+#   BENCH_TIME=<n>x|<t>s benchtime passed to go test (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATE="${BENCH_DATE:-$(date +%Y%m%d)}"
+OUT="BENCH_${DATE}.json"
+BENCHTIME="${BENCH_TIME:-3x}"
+
+# Most recent previous snapshot, if any, for the delta report.
+PREV="$(ls BENCH_*.json 2>/dev/null | grep -v "^${OUT}\$" | sort | tail -1 || true)"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# Root package: dataset generation, batched inference, matrix kernels.
+# internal/nn: the training engine (BenchmarkFit) and kernel micro-benchmarks.
+go test . ./internal/nn/ -run '^$' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128' \
+    -benchtime "$BENCHTIME" -benchmem | tee "$TMP"
+
+go run ./cmd/benchdiff -snapshot "$OUT" -date "$DATE" < "$TMP"
+echo "bench: wrote $OUT"
+
+if [ -n "$PREV" ]; then
+    go run ./cmd/benchdiff -compare "$PREV" "$OUT"
+else
+    echo "bench: no previous BENCH_*.json snapshot; nothing to compare"
+fi

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify recipe. The -race passes cover the packages this
 # repository's concurrency lives in: the sharded dataset generation
-# (internal/core) and the goroutine-parallel matrix kernels
-# (internal/nn). On top of the plain test run this script executes:
+# (internal/core), the goroutine-parallel matrix kernels and the
+# data-parallel training engine with its byte-identity regression
+# tests (internal/nn). On top of the plain test run this script
+# executes:
 #
 #   - the internal/testkit conformance suite (KATs for all five
 #     primitives, property runner self-tests, sampled-vs-exact DP
@@ -10,6 +12,9 @@
 #   - a fuzz smoke: each native fuzz target runs for FUZZ_SECONDS
 #     (default 10s) of random exploration, skippable with CHECK_FUZZ=0
 #     for quick local iteration;
+#   - a benchmark smoke (one iteration of the training-engine
+#     benchmarks) so BenchmarkFit cannot silently rot between full
+#     `make bench` runs, skippable with CHECK_BENCH=0;
 #   - a coverage gate on internal/core and internal/nn that fails if
 #     statement coverage drops below the recorded baselines.
 set -euo pipefail
@@ -40,6 +45,13 @@ if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
   done
 fi
 
+# --- Benchmark smoke: one iteration of the training-engine benchmarks
+# keeps them compiling and running; full measurements come from
+# `make bench` (scripts/bench.sh).
+if [[ "${CHECK_BENCH:-1}" != "0" ]]; then
+  go test ./internal/nn/ -run '^$' -bench Fit -benchtime 1x
+fi
+
 # --- Coverage gate: seed baselines, measured at the PR that introduced
 # the gate. Raising coverage moves the floor up in the same commit;
 # dropping below it fails the build.
@@ -57,7 +69,7 @@ check_cover() {
   }
   echo "coverage gate: $pkg ${pct}% (floor ${floor}%)"
 }
-check_cover ./internal/core 90.9
-check_cover ./internal/nn   90.6
+check_cover ./internal/core 93.0
+check_cover ./internal/nn   93.7
 
 echo "check.sh: all gates passed"
