@@ -240,14 +240,14 @@ func BenchmarkPredictBatch(b *testing.B) {
 	d := core.GenerateDataset(s, 512, prng.New(7))
 	if err := func() error {
 		c.Epochs = 1
-		return c.Fit(d.X, d.Y)
+		return c.Fit(d.Rows(), d.Y)
 	}(); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("one-by-one", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, x := range d.X {
+			for _, x := range d.Rows() {
 				_ = c.Predict(x)
 			}
 		}
@@ -256,7 +256,14 @@ func BenchmarkPredictBatch(b *testing.B) {
 	b.Run("batch", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = c.PredictBatch(d.X)
+			_ = c.PredictBatch(d.Rows())
+		}
+		b.ReportMetric(float64(d.Len()), "samples/op")
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.PredictDataset(d)
 		}
 		b.ReportMetric(float64(d.Len()), "samples/op")
 	})

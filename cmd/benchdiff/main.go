@@ -3,7 +3,10 @@
 // persistence half of `make bench`: scripts/bench.sh pipes benchmark
 // output through `benchdiff -snapshot BENCH_<date>.json` and then
 // renders the drift against the previous committed snapshot with
-// `benchdiff -compare old.json new.json`. Stdlib only.
+// `benchdiff -compare old.json new.json`. With -max-regress <pct> the
+// comparison becomes a gate: any benchmark whose ns/op regressed past
+// the threshold fails the run, which is how scripts/check.sh keeps the
+// committed performance trajectory monotone. Stdlib only.
 package main
 
 import (
@@ -38,9 +41,10 @@ type Snapshot struct {
 
 func main() {
 	var (
-		snapshot = flag.String("snapshot", "", "parse `go test -bench` output on stdin and write this JSON snapshot")
-		date     = flag.String("date", "", "date stamp recorded in the snapshot (default: derived from the -snapshot filename)")
-		compare  = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
+		snapshot   = flag.String("snapshot", "", "parse `go test -bench` output on stdin and write this JSON snapshot")
+		date       = flag.String("date", "", "date stamp recorded in the snapshot (default: derived from the -snapshot filename)")
+		compare    = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
+		maxRegress = flag.Float64("max-regress", 0, "with -compare: exit nonzero if any benchmark's ns/op regressed more than this percentage (0 disables the gate)")
 	)
 	flag.Parse()
 	switch {
@@ -54,7 +58,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff: -compare needs exactly two snapshot files")
 			os.Exit(2)
 		}
-		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}
@@ -141,8 +145,12 @@ func dateFromPath(path string) string {
 	return strings.TrimPrefix(base, "BENCH_")
 }
 
-// compareFiles renders the per-benchmark drift from old to new.
-func compareFiles(w io.Writer, oldPath, newPath string) error {
+// compareFiles renders the per-benchmark drift from old to new. A
+// positive maxRegress turns the comparison into a gate: benchmarks
+// whose ns/op grew by more than that percentage are collected and
+// returned as an error after the full table prints. Benchmarks present
+// in only one snapshot never trip the gate.
+func compareFiles(w io.Writer, oldPath, newPath string, maxRegress float64) error {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -156,6 +164,7 @@ func compareFiles(w io.Writer, oldPath, newPath string) error {
 	for _, b := range oldSnap.Benchmarks {
 		prev[b.Name] = b
 	}
+	var regressed []string
 	fmt.Fprintf(w, "%-52s  %14s  %14s  %8s  %12s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "allocs/op")
 	for _, nb := range newSnap.Benchmarks {
 		ob, ok := prev[nb.Name]
@@ -164,11 +173,18 @@ func compareFiles(w io.Writer, oldPath, newPath string) error {
 			continue
 		}
 		delete(prev, nb.Name)
+		delta := pctDelta(ob.NsPerOp, nb.NsPerOp)
 		fmt.Fprintf(w, "%-52s  %14.0f  %14.0f  %+7.1f%%  %5.0f→%.0f\n",
-			nb.Name, ob.NsPerOp, nb.NsPerOp, pctDelta(ob.NsPerOp, nb.NsPerOp), ob.AllocsPerOp, nb.AllocsPerOp)
+			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp)
+		if maxRegress > 0 && delta > maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", nb.Name, delta))
+		}
 	}
 	for name := range prev {
 		fmt.Fprintf(w, "%-52s  (removed)\n", name)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regressed past the %.1f%% gate: %s", maxRegress, strings.Join(regressed, ", "))
 	}
 	return nil
 }

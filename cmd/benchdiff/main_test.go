@@ -68,7 +68,7 @@ func TestSnapshotAndCompareRoundTrip(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if err := compareFiles(&sb, oldPath, newPath); err != nil {
+	if err := compareFiles(&sb, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -76,6 +76,18 @@ func TestSnapshotAndCompareRoundTrip(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("compare output missing %q:\n%s", want, out)
 		}
+	}
+
+	// The regression gate: comparing in the other direction, the same
+	// -50% improvement reads as a +100% regression, so a 50% threshold
+	// must fail and name the offending benchmark, while a generous one
+	// must pass. The (new)/(removed) rows never trip the gate.
+	err = compareFiles(&sb, newPath, oldPath, 50)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFit/workers=1-8") {
+		t.Fatalf("gate at 50%% should fail naming the regressed benchmark, got %v", err)
+	}
+	if err := compareFiles(&sb, newPath, oldPath, 150); err != nil {
+		t.Fatalf("gate at 150%% should pass, got %v", err)
 	}
 }
 

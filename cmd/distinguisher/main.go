@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/svm"
 )
 
@@ -40,18 +41,27 @@ func main() {
 		saveDist   = flag.String("savedist", "", "save the full trained distinguisher (scenario + accuracy + model)")
 		loadDist   = flag.String("loaddist", "", "skip training: load a distinguisher saved with -savedist and run the online phase only")
 		quiet      = flag.Bool("q", false, "suppress per-epoch progress")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *loadDist != "" {
-		if err := runLoaded(*loadDist, *games, *queries, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "distinguisher:", err)
-			os.Exit(1)
-		}
-		return
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distinguisher:", err)
+		os.Exit(1)
 	}
-	if err := run(*target, *rounds, *train, *val, *epochs, *hidden, *workers, *arch, *classifier,
-		*seed, *games, *queries, *save, *saveDist, *quiet); err != nil {
+
+	if *loadDist != "" {
+		err = runLoaded(*loadDist, *games, *queries, *seed)
+	} else {
+		err = run(*target, *rounds, *train, *val, *epochs, *hidden, *workers, *arch, *classifier,
+			*seed, *games, *queries, *save, *saveDist, *quiet)
+	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "distinguisher:", err)
 		os.Exit(1)
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bias"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/prng"
 )
 
@@ -40,8 +41,16 @@ func main() {
 		samples    = flag.Int("samples", 20000, "Monte-Carlo samples for Table 1 verification")
 		rounds     = flag.Int("rounds", 8, "round count for Table 3 / ablation")
 		workers    = flag.Int("workers", 0, "training workers per mini-batch (0 = GOMAXPROCS); results are byte-identical at any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
 
 	sc := experiments.QuickScale()
 	if *paperScale {
@@ -54,6 +63,7 @@ func main() {
 		ran = true
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			stopProfiles() // partial profiles beat none; os.Exit skips defers
 			os.Exit(1)
 		}
 	}
@@ -90,7 +100,12 @@ func main() {
 	}
 	if !ran {
 		flag.Usage()
+		stopProfiles()
 		os.Exit(2)
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
 	}
 }
 

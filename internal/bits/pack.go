@@ -1,0 +1,80 @@
+package bits
+
+import "fmt"
+
+// This file implements the packed {0,1}-feature representation used by
+// the dataset backing store in internal/core: a feature vector of n
+// bits occupies PackedWords(n) uint64 words, bit i of the vector stored
+// at bit i%64 of word i/64. The layout composes with ToFloats — packing
+// the float expansion of a byte string and packing the byte string
+// directly yield the same words — so scenarios can write packed rows
+// straight from cipher state without materializing floats.
+
+// PackedWords returns the number of uint64 words needed to hold n
+// packed bits.
+func PackedWords(n int) int { return (n + 63) / 64 }
+
+// PackFloats packs a {0,1} float vector into dst, bit i of the vector
+// at bit i%64 of dst[i/64]. Values ≥ 0.5 are treated as 1. dst must
+// hold PackedWords(len(f)) words; trailing bits of the last word are
+// zeroed.
+func PackFloats(dst []uint64, f []float64) {
+	words := PackedWords(len(f))
+	if len(dst) < words {
+		panic(fmt.Sprintf("bits: PackFloats dst has %d words, need %d", len(dst), words))
+	}
+	for w := 0; w < words; w++ {
+		var v uint64
+		lo := w * 64
+		hi := lo + 64
+		if hi > len(f) {
+			hi = len(f)
+		}
+		for i := lo; i < hi; i++ {
+			if f[i] >= 0.5 {
+				v |= 1 << uint(i-lo)
+			}
+		}
+		dst[w] = v
+	}
+}
+
+// PackBytes packs a byte string into dst using the same bit order as
+// ToFloats (least-significant bit of each byte first): bit i of the
+// expansion lands at bit i%64 of dst[i/64]. dst must hold
+// PackedWords(8*len(b)) words; trailing bits of the last word are
+// zeroed.
+func PackBytes(dst []uint64, b []byte) {
+	words := PackedWords(8 * len(b))
+	if len(dst) < words {
+		panic(fmt.Sprintf("bits: PackBytes dst has %d words, need %d", len(dst), words))
+	}
+	for w := 0; w < words; w++ {
+		var v uint64
+		lo := w * 8
+		hi := lo + 8
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for i := lo; i < hi; i++ {
+			v |= uint64(b[i]) << uint(8*(i-lo))
+		}
+		dst[w] = v
+	}
+}
+
+// ExpandBits expands n packed bits into {0,1} float64 values, the
+// inverse of PackFloats. dst must hold at least n entries; the first n
+// are overwritten and dst[:n] is returned.
+func ExpandBits(dst []float64, packed []uint64, n int) []float64 {
+	if len(packed) < PackedWords(n) {
+		panic(fmt.Sprintf("bits: ExpandBits needs %d words, have %d", PackedWords(n), len(packed)))
+	}
+	if len(dst) < n {
+		panic(fmt.Sprintf("bits: ExpandBits dst has %d entries, need %d", len(dst), n))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = float64(packed[i>>6] >> (uint(i) & 63) & 1)
+	}
+	return dst[:n]
+}

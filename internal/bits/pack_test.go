@@ -1,0 +1,86 @@
+package bits
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestPackedWords(t *testing.T) {
+	for _, c := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	} {
+		if got := PackedWords(c.n); got != c.want {
+			t.Errorf("PackedWords(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestPackFloatsRoundTrip: ExpandBits inverts PackFloats on random
+// {0,1} vectors of every residue mod 64, and trailing bits of the last
+// word are zero.
+func TestPackFloatsRoundTrip(t *testing.T) {
+	r := prng.New(1)
+	for _, n := range []int{1, 7, 32, 63, 64, 65, 128, 200} {
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = float64(r.Intn(2))
+		}
+		packed := make([]uint64, PackedWords(n))
+		PackFloats(packed, f)
+		if n%64 != 0 {
+			if tail := packed[len(packed)-1] >> uint(n%64); tail != 0 {
+				t.Fatalf("n=%d: trailing bits %#x not zeroed", n, tail)
+			}
+		}
+		back := ExpandBits(make([]float64, n), packed, n)
+		for i := range f {
+			if back[i] != f[i] {
+				t.Fatalf("n=%d: bit %d: %v → %v", n, i, f[i], back[i])
+			}
+		}
+	}
+}
+
+// TestPackBytesMatchesPackFloats: packing bytes directly and packing
+// their ToFloats expansion give the same words — the equivalence the
+// scenario fast paths rely on.
+func TestPackBytesMatchesPackFloats(t *testing.T) {
+	r := prng.New(2)
+	for _, n := range []int{1, 4, 8, 15, 16, 48} {
+		b := r.Bytes(n)
+		viaBytes := make([]uint64, PackedWords(8*n))
+		PackBytes(viaBytes, b)
+		viaFloats := make([]uint64, PackedWords(8*n))
+		PackFloats(viaFloats, ToFloats(nil, b))
+		for w := range viaBytes {
+			if viaBytes[w] != viaFloats[w] {
+				t.Fatalf("n=%d word %d: PackBytes %#x vs PackFloats %#x", n, w, viaBytes[w], viaFloats[w])
+			}
+		}
+	}
+}
+
+// TestPackEmpty: zero-length inputs are valid and touch nothing.
+func TestPackEmpty(t *testing.T) {
+	PackFloats(nil, nil)
+	PackBytes(nil, nil)
+	if got := ExpandBits(nil, nil, 0); len(got) != 0 {
+		t.Fatalf("ExpandBits empty returned %d entries", len(got))
+	}
+}
+
+func TestPackPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("PackFloats short dst", func() { PackFloats(make([]uint64, 1), make([]float64, 65)) })
+	expectPanic("PackBytes short dst", func() { PackBytes(nil, make([]byte, 1)) })
+	expectPanic("ExpandBits short packed", func() { ExpandBits(make([]float64, 65), make([]uint64, 1), 65) })
+	expectPanic("ExpandBits short dst", func() { ExpandBits(make([]float64, 1), make([]uint64, 1), 2) })
+}

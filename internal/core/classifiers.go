@@ -61,7 +61,21 @@ func NewTable3Classifier(arch string, featureLen int, seed uint64) (*NNClassifie
 func (c *NNClassifier) Name() string { return fmt.Sprintf("nn(%d params)", c.Net.ParamCount()) }
 
 // Fit trains the network on the labelled samples.
-func (c *NNClassifier) Fit(x [][]float64, y []int) error {
+func (c *NNClassifier) Fit(x [][]float64, y []int) error { return c.fit(nn.FromRows(x), y) }
+
+// FitDataset trains the network straight from the packed backing
+// store: each row is expanded into the input matrix with SetRowBits,
+// which produces the same float values as the Rows() view, so fitted
+// weights are byte-identical to Fit on that view.
+func (c *NNClassifier) FitDataset(d *Dataset) error {
+	m := nn.NewMatrix(d.Len(), d.FeatureLen())
+	for i := 0; i < d.Len(); i++ {
+		m.SetRowBits(i, d.Packed(i))
+	}
+	return c.fit(m, d.Y)
+}
+
+func (c *NNClassifier) fit(m *nn.Matrix, y []int) error {
 	epochs := c.Epochs
 	if epochs <= 0 {
 		epochs = 5
@@ -70,7 +84,7 @@ func (c *NNClassifier) Fit(x [][]float64, y []int) error {
 	if batch <= 0 {
 		batch = 128
 	}
-	_, err := c.Net.Fit(nn.FromRows(x), y, nn.FitConfig{
+	_, err := c.Net.Fit(m, y, nn.FitConfig{
 		Epochs:    epochs,
 		BatchSize: batch,
 		Optimizer: nn.NewAdam(c.LR),
@@ -101,11 +115,7 @@ func (c *NNClassifier) PredictBatch(x [][]float64) []int {
 	if len(x) == 0 {
 		return nil
 	}
-	if c.pred == nil || c.predNet != c.Net {
-		c.pred = c.Net.NewPredictor()
-		c.predNet = c.Net
-		c.inBuf = nil
-	}
+	c.ensurePredictor()
 	cols := len(x[0])
 	out := make([]int, len(x))
 	for lo := 0; lo < len(x); lo += predictChunk {
@@ -113,33 +123,75 @@ func (c *NNClassifier) PredictBatch(x [][]float64) []int {
 		if hi > len(x) {
 			hi = len(x)
 		}
-		rows := hi - lo
-		if m := c.inBuf; m == nil || cap(m.Data) < rows*cols {
-			c.inBuf = nn.NewMatrix(rows, cols)
-		} else {
-			m.Rows, m.Cols = rows, cols
-			m.Data = m.Data[:rows*cols]
-		}
+		in := c.ensureInput(hi-lo, cols)
 		for i := lo; i < hi; i++ {
 			if len(x[i]) != cols {
 				panic(fmt.Sprintf("core: ragged batch: row %d has %d features, want %d", i, len(x[i]), cols))
 			}
-			copy(c.inBuf.Data[(i-lo)*cols:(i-lo+1)*cols], x[i])
+			copy(in.Data[(i-lo)*cols:(i-lo+1)*cols], x[i])
 		}
-		c.outBuf = c.pred.PredictInto(c.outBuf, c.inBuf)
+		c.outBuf = c.pred.PredictInto(c.outBuf, in)
 		copy(out[lo:hi], c.outBuf)
 	}
 	return out
 }
 
+// PredictDataset is PredictBatch fed straight from the packed backing
+// store: each chunk's input matrix is filled with SetRowBits instead of
+// copying materialized float rows, so scoring a dataset never builds
+// the [][]float64 view. Predictions are bitwise those of PredictBatch
+// on the Rows() view.
+func (c *NNClassifier) PredictDataset(d *Dataset) []int {
+	n := d.Len()
+	if n == 0 {
+		return nil
+	}
+	c.ensurePredictor()
+	out := make([]int, n)
+	for lo := 0; lo < n; lo += predictChunk {
+		hi := lo + predictChunk
+		if hi > n {
+			hi = n
+		}
+		in := c.ensureInput(hi-lo, d.FeatureLen())
+		for i := lo; i < hi; i++ {
+			in.SetRowBits(i-lo, d.Packed(i))
+		}
+		c.outBuf = c.pred.PredictInto(c.outBuf, in)
+		copy(out[lo:hi], c.outBuf)
+	}
+	return out
+}
+
+// ensurePredictor rebuilds the cached Predictor when Net was swapped.
+func (c *NNClassifier) ensurePredictor() {
+	if c.pred == nil || c.predNet != c.Net {
+		c.pred = c.Net.NewPredictor()
+		c.predNet = c.Net
+		c.inBuf = nil
+	}
+}
+
+// ensureInput reshapes the shared input matrix to rows×cols, reusing
+// its backing array once the largest chunk shape has been seen.
+func (c *NNClassifier) ensureInput(rows, cols int) *nn.Matrix {
+	if m := c.inBuf; m == nil || cap(m.Data) < rows*cols {
+		c.inBuf = nn.NewMatrix(rows, cols)
+	} else {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:rows*cols]
+	}
+	return c.inBuf
+}
+
 // Interface checks: the svm package models implement Classifier
 // directly.
 var (
-	_ Classifier = (*svm.LinearSVM)(nil)
-	_ Classifier = (*svm.Logistic)(nil)
-	_ Classifier = (*NNClassifier)(nil)
-	_ Classifier = (*BitBiasClassifier)(nil)
-	_ Classifier = Batched{}
+	_ Classifier        = (*svm.LinearSVM)(nil)
+	_ Classifier        = (*svm.Logistic)(nil)
+	_ DatasetClassifier = (*NNClassifier)(nil)
+	_ Classifier        = (*BitBiasClassifier)(nil)
+	_ Classifier        = Batched{}
 )
 
 // BitBiasClassifier is a non-ML analytic baseline: it estimates the

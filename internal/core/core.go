@@ -46,6 +46,48 @@ type Scenario interface {
 	RandomSample(r *prng.Rand) []float64
 }
 
+// BatchScenario is the packed fast path of Scenario: SampleBatch is
+// Sample with the float materialization stripped out. It must write
+// exactly the bits Sample would return — bit i of the feature vector
+// at bit i%64 of dst[i/64] (the bits.PackFloats layout) — and must
+// consume exactly the same generator outputs as Sample, so the two
+// paths are interchangeable row by row (testkit.CheckScenario enforces
+// both). dst has FeatureLen()/64 words, rounded up.
+type BatchScenario interface {
+	Scenario
+	// SampleBatch writes one packed cipher sample for the class into dst
+	// without allocating.
+	SampleBatch(r *prng.Rand, class int, dst []uint64)
+}
+
+// PairScenario additionally samples two rows at once. For the GIMLI
+// scenarios one sample already costs two permutation calls, so a row
+// pair is four independent states and SamplePair can run the
+// ×4-interleaved permutation kernel. Each row must consume only its
+// own generator (r0/r1 positional substreams) and produce exactly the
+// bytes SampleBatch would, so the generation engine can pair rows
+// freely without moving any stream.
+type PairScenario interface {
+	BatchScenario
+	// SamplePair writes packed samples for (class0, r0) into dst0 and
+	// (class1, r1) into dst1.
+	SamplePair(r0, r1 *prng.Rand, class0, class1 int, dst0, dst1 []uint64)
+}
+
+// DatasetClassifier is the packed fast path of Classifier: it consumes
+// a Dataset's backing store directly instead of a materialized
+// [][]float64 view. Train and evalAccuracy prefer it when present;
+// both paths must produce identical results (the NN adapter expands
+// the same bit values into its input matrix either way, so fitted
+// weights and predictions are byte-identical).
+type DatasetClassifier interface {
+	Classifier
+	// FitDataset is Fit over the dataset's packed rows and labels.
+	FitDataset(d *Dataset) error
+	// PredictDataset is PredictBatch over the dataset's packed rows.
+	PredictDataset(d *Dataset) []int
+}
+
 // Classifier is the model slot of Algorithm 2. internal/nn networks
 // (via NNClassifier) and internal/svm models satisfy it.
 //

@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/prng"
 	"repro/internal/stats"
@@ -14,84 +12,6 @@ import (
 // ErrNoDistinguisher is returned by Train when the classifier fails to
 // beat the 1/t baseline — the "Abort" branch of Algorithm 2.
 var ErrNoDistinguisher = errors.New("core: training accuracy did not exceed 1/t; no distinguisher found")
-
-// Dataset is a labelled sample collection.
-type Dataset struct {
-	X [][]float64
-	Y []int
-}
-
-// GenerateDataset draws perClass cipher samples for each of the
-// scenario's classes, interleaved so that truncation keeps balance.
-//
-// Determinism contract: exactly one output is consumed from r to
-// derive a base seed, and row j (canonical interleaved order: sample
-// i of class c sits at row i*t+c) is drawn from the positional
-// substream prng.NewStream(base, j). Because each row owns its
-// substream, any partition of rows across workers reproduces the same
-// bytes — GenerateDataset and GenerateDatasetParallel are
-// interchangeable at every worker count.
-func GenerateDataset(s Scenario, perClass int, r *prng.Rand) *Dataset {
-	return GenerateDatasetParallel(s, perClass, r, 1)
-}
-
-// GenerateDatasetParallel is GenerateDataset sharded across workers
-// goroutines (workers <= 0 selects runtime.GOMAXPROCS). The output is
-// byte-identical to GenerateDataset for the same scenario, perClass
-// and generator state, regardless of worker count; see the
-// determinism contract on GenerateDataset.
-func GenerateDatasetParallel(s Scenario, perClass int, r *prng.Rand, workers int) *Dataset {
-	if perClass < 0 {
-		perClass = 0
-	}
-	t := s.Classes()
-	n := perClass * t
-	// The base seed is drawn unconditionally — even for an empty
-	// dataset — so generator-state consumption is independent of
-	// perClass and callers sequencing multiple generations stay
-	// reproducible.
-	base := r.Uint64()
-	d := &Dataset{
-		X: make([][]float64, n),
-		Y: make([]int, n),
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	fill := func(lo, hi int, rw *prng.Rand) {
-		for j := lo; j < hi; j++ {
-			rw.SeedStream(base, uint64(j))
-			c := j % t
-			d.X[j] = s.Sample(rw, c)
-			d.Y[j] = c
-		}
-	}
-	if workers <= 1 || n == 0 {
-		fill(0, n, &prng.Rand{})
-		return d
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fill(lo, hi, &prng.Rand{})
-		}(lo, hi)
-	}
-	wg.Wait()
-	return d
-}
-
-// Len returns the number of samples.
-func (d *Dataset) Len() int { return len(d.Y) }
 
 // TrainConfig controls the offline phase.
 type TrainConfig struct {
@@ -149,7 +69,7 @@ func Train(s Scenario, c Classifier, cfg TrainConfig) (*Distinguisher, error) {
 	}
 	r := prng.New(cfg.Seed)
 	trainSet := GenerateDatasetParallel(s, cfg.TrainPerClass, r, 0)
-	if err := c.Fit(trainSet.X, trainSet.Y); err != nil {
+	if err := fitDataset(c, trainSet); err != nil {
 		return nil, fmt.Errorf("core: fitting %s on %s: %w", c.Name(), s.Name(), err)
 	}
 
@@ -174,12 +94,27 @@ func Train(s Scenario, c Classifier, cfg TrainConfig) (*Distinguisher, error) {
 	return d, nil
 }
 
+// fitDataset feeds the training set to the classifier, going straight
+// from the packed backing store when the classifier understands it
+// (DatasetClassifier) and materializing the float view otherwise.
+func fitDataset(c Classifier, d *Dataset) error {
+	if dc, ok := c.(DatasetClassifier); ok {
+		return dc.FitDataset(d)
+	}
+	return c.Fit(d.Rows(), d.Y)
+}
+
 // evalAccuracy scores the classifier on a labelled set. For
 // NNClassifier the call runs through its cached Predictor, which
 // chunks the set internally and reuses one set of scratch matrices
-// across chunks, so scoring large sets does not allocate per chunk.
+// across chunks, so scoring large sets does not allocate per chunk;
+// the DatasetClassifier path additionally expands packed rows into
+// the predictor's input matrix without the [][]float64 detour.
 func evalAccuracy(c Classifier, d *Dataset) float64 {
-	return stats.Accuracy(c.PredictBatch(d.X), d.Y)
+	if dc, ok := c.(DatasetClassifier); ok {
+		return stats.Accuracy(dc.PredictDataset(d), d.Y)
+	}
+	return stats.Accuracy(c.PredictBatch(d.Rows()), d.Y)
 }
 
 // OnlineResult is the outcome of one online phase (Algorithm 2,

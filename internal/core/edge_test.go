@@ -26,7 +26,7 @@ func TestGenerateDatasetEmpty(t *testing.T) {
 	s := edgeScenario(t)
 	for _, workers := range []int{0, 1, 4, 64} {
 		d := GenerateDatasetParallel(s, 0, prng.New(1), workers)
-		if d.Len() != 0 || len(d.X) != 0 {
+		if d.Len() != 0 || len(d.PackedBits()) != 0 || len(d.Rows()) != 0 {
 			t.Fatalf("perClass=0 workers=%d: %d rows", workers, d.Len())
 		}
 	}
@@ -66,12 +66,15 @@ func TestGenerateDatasetWorkersExceedRows(t *testing.T) {
 	if serial.Len() != wide.Len() {
 		t.Fatalf("row counts differ: %d vs %d", serial.Len(), wide.Len())
 	}
-	for i := range serial.X {
+	var sRow, wRow []float64
+	for i := range serial.Y {
 		if serial.Y[i] != wide.Y[i] {
 			t.Fatalf("row %d label differs", i)
 		}
-		for j := range serial.X[i] {
-			if serial.X[i][j] != wide.X[i][j] {
+		sRow = serial.Row(i, sRow)
+		wRow = wide.Row(i, wRow)
+		for j := range sRow {
+			if sRow[j] != wRow[j] {
 				t.Fatalf("row %d feature %d differs", i, j)
 			}
 		}

@@ -8,19 +8,21 @@ import (
 	"repro/internal/prng"
 )
 
-// datasetsEqual reports whether two datasets are byte-identical.
+// datasetsEqual reports whether two datasets are byte-identical, down
+// to the packed backing store.
 func datasetsEqual(a, b *Dataset) bool {
-	if len(a.X) != len(b.X) || len(a.Y) != len(b.Y) {
+	if a.Len() != b.Len() || a.FeatureLen() != b.FeatureLen() {
 		return false
 	}
 	for i := range a.Y {
-		if a.Y[i] != b.Y[i] || len(a.X[i]) != len(b.X[i]) {
+		if a.Y[i] != b.Y[i] {
 			return false
 		}
-		for j := range a.X[i] {
-			if a.X[i][j] != b.X[i][j] {
-				return false
-			}
+	}
+	ab, bb := a.PackedBits(), b.PackedBits()
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
 		}
 	}
 	return true
@@ -149,14 +151,14 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range []Classifier{mlp, bb} {
-		if err := c.Fit(train.X, train.Y); err != nil {
+		if err := c.Fit(train.Rows(), train.Y); err != nil {
 			t.Fatalf("%s: %v", c.Name(), err)
 		}
-		batch := c.PredictBatch(probe.X)
+		batch := c.PredictBatch(probe.Rows())
 		if len(batch) != probe.Len() {
 			t.Fatalf("%s: batch returned %d predictions for %d samples", c.Name(), len(batch), probe.Len())
 		}
-		for i, x := range probe.X {
+		for i, x := range probe.Rows() {
 			if one := c.Predict(x); one != batch[i] {
 				t.Fatalf("%s: sample %d: Predict=%d PredictBatch=%d", c.Name(), i, one, batch[i])
 			}
@@ -183,12 +185,12 @@ func TestBatchedAdapter(t *testing.T) {
 	}
 	r := prng.New(6)
 	train := GenerateDataset(s, 64, r)
-	if err := c.Fit(train.X, train.Y); err != nil {
+	if err := c.Fit(train.Rows(), train.Y); err != nil {
 		t.Fatal(err)
 	}
 	probe := GenerateDataset(s, 16, r)
-	batch := c.PredictBatch(probe.X)
-	for i, x := range probe.X {
+	batch := c.PredictBatch(probe.Rows())
+	for i, x := range probe.Rows() {
 		if c.Predict(x) != batch[i] {
 			t.Fatalf("adapter batch/serial disagree at %d", i)
 		}
@@ -224,7 +226,7 @@ func TestFitParallelDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			c.Epochs, c.Batch, c.Workers = 2, 32, workers
-			if err := c.Fit(train.X, train.Y); err != nil {
+			if err := c.Fit(train.Rows(), train.Y); err != nil {
 				t.Fatal(err)
 			}
 			var bits []uint64
@@ -233,7 +235,7 @@ func TestFitParallelDeterminism(t *testing.T) {
 					bits = append(bits, math.Float64bits(w))
 				}
 			}
-			return result{bits: bits, valPreds: c.PredictBatch(val.X)}
+			return result{bits: bits, valPreds: c.PredictBatch(val.Rows())}
 		}
 
 		want := run(1)
@@ -268,18 +270,18 @@ func TestNNClassifierPredictBatchChunking(t *testing.T) {
 	c.Epochs = 1
 	r := prng.New(11)
 	train := GenerateDataset(s, 64, r)
-	if err := c.Fit(train.X, train.Y); err != nil {
+	if err := c.Fit(train.Rows(), train.Y); err != nil {
 		t.Fatal(err)
 	}
 	probe := GenerateDataset(s, 40, r)
-	batch := c.PredictBatch(probe.X)
-	for i, x := range probe.X {
+	batch := c.PredictBatch(probe.Rows())
+	for i, x := range probe.Rows() {
 		if got := c.Predict(x); got != batch[i] {
 			t.Fatalf("batch/serial disagree at row %d: %d vs %d", i, batch[i], got)
 		}
 	}
 	// Repeated calls reuse the cached scratch and stay consistent.
-	again := c.PredictBatch(probe.X)
+	again := c.PredictBatch(probe.Rows())
 	for i := range batch {
 		if again[i] != batch[i] {
 			t.Fatalf("repeated PredictBatch changed row %d", i)
@@ -290,12 +292,12 @@ func TestNNClassifierPredictBatchChunking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Fit(train.X, train.Y); err != nil {
+	if err := c2.Fit(train.Rows(), train.Y); err != nil {
 		t.Fatal(err)
 	}
 	c.Net = c2.Net
-	swapped := c.PredictBatch(probe.X)
-	for i, x := range probe.X {
+	swapped := c.PredictBatch(probe.Rows())
+	for i, x := range probe.Rows() {
 		if got := c2.Net.PredictOne(x); got != swapped[i] {
 			t.Fatalf("after Net swap, row %d predicted %d, want %d", i, swapped[i], got)
 		}

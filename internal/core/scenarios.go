@@ -84,6 +84,55 @@ func (s *GimliHashScenario) RandomSample(r *prng.Rand) []float64 {
 	return bits.ToFloats(make([]float64, 0, s.FeatureLen()), r.Bytes(sponge.Rate))
 }
 
+// statePair builds the two pre-permutation sponge states of one sample
+// (message and message ⊕ δ_class, both padded), drawing exactly the
+// bytes Sample draws.
+func (s *GimliHashScenario) statePair(r *prng.Rand, class int, a, b *gimli.State) {
+	var buf [sponge.Rate]byte
+	msg := buf[:s.MsgLen]
+	r.Fill(msg)
+	*a = gimli.State{}
+	a.XORBytes(msg)
+	a.XORByte(s.MsgLen, 0x01)
+	a.XORByte(gimli.StateBytes-1, 0x01)
+	bits.XOR(msg, msg, s.Deltas[class])
+	*b = gimli.State{}
+	b.XORBytes(msg)
+	b.XORByte(s.MsgLen, 0x01)
+	b.XORByte(gimli.StateBytes-1, 0x01)
+}
+
+// packRateDiff packs the 128-bit rate difference of two permuted states
+// straight from the state words: the rate serializes little-endian, and
+// the packed-row layout is little-endian bit order, so rate word w of
+// the XOR lands in the half-word w of dst unchanged.
+func packRateDiff(a, b *gimli.State, dst []uint64) {
+	dst[0] = uint64(a[0]^b[0]) | uint64(a[1]^b[1])<<32
+	dst[1] = uint64(a[2]^b[2]) | uint64(a[3]^b[3])<<32
+}
+
+// SampleBatch is the packed fast path of Sample: same draws, same bits,
+// no allocation.
+func (s *GimliHashScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
+	var a, b gimli.State
+	s.statePair(r, class, &a, &b)
+	gimli.PermuteRounds(&a, s.Rounds)
+	gimli.PermuteRounds(&b, s.Rounds)
+	packRateDiff(&a, &b, dst)
+}
+
+// SamplePair generates two samples at once. A sample is two permutation
+// states, so the pair's four independent states run through the
+// ×4-interleaved kernel.
+func (s *GimliHashScenario) SamplePair(r0, r1 *prng.Rand, class0, class1 int, dst0, dst1 []uint64) {
+	var a0, b0, a1, b1 gimli.State
+	s.statePair(r0, class0, &a0, &b0)
+	s.statePair(r1, class1, &a1, &b1)
+	gimli.PermuteRounds4(&a0, &b0, &a1, &b1, s.Rounds)
+	packRateDiff(&a0, &b0, dst0)
+	packRateDiff(&a1, &b1, dst1)
+}
+
 // GimliCipherScenario is the Section 4 GIMLI-CIPHER experiment in the
 // nonce-respecting setting: per sample, a fresh random 256-bit key and
 // a random nonce pair differing by δ_class are run through the
@@ -153,6 +202,40 @@ func (s *GimliCipherScenario) RandomSample(r *prng.Rand) []float64 {
 	return bits.ToFloats(make([]float64, 0, s.FeatureLen()), r.Bytes(duplex.Rate))
 }
 
+// statePair builds the two pre-permutation duplex states of one sample
+// (nonce ‖ key and (nonce ⊕ δ_class) ‖ key), drawing key then nonce
+// exactly as Sample does. The post-permutation AD padding of InitRate
+// is a constant, so it cancels in the rate difference and is skipped.
+func (s *GimliCipherScenario) statePair(r *prng.Rand, class int, a, b *gimli.State) {
+	var buf [gimli.StateBytes]byte
+	r.Fill(buf[duplex.NonceSize:]) // key, drawn first in Sample
+	r.Fill(buf[:duplex.NonceSize]) // nonce
+	a.SetBytes(buf[:])
+	*b = *a
+	b.XORBytes(s.Deltas[class]) // 16 bytes: flips only the nonce part
+}
+
+// SampleBatch is the packed fast path of Sample: same draws, same bits,
+// no allocation.
+func (s *GimliCipherScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
+	var a, b gimli.State
+	s.statePair(r, class, &a, &b)
+	gimli.PermuteRounds(&a, s.Rounds)
+	gimli.PermuteRounds(&b, s.Rounds)
+	packRateDiff(&a, &b, dst)
+}
+
+// SamplePair generates two samples at once through the ×4-interleaved
+// permutation kernel.
+func (s *GimliCipherScenario) SamplePair(r0, r1 *prng.Rand, class0, class1 int, dst0, dst1 []uint64) {
+	var a0, b0, a1, b1 gimli.State
+	s.statePair(r0, class0, &a0, &b0)
+	s.statePair(r1, class1, &a1, &b1)
+	gimli.PermuteRounds4(&a0, &b0, &a1, &b1, s.Rounds)
+	packRateDiff(&a0, &b0, dst0)
+	packRateDiff(&a1, &b1, dst1)
+}
+
 // SpeckScenario is the Gohr-style baseline of Section 2.3 transplanted
 // into this framework: class 1 samples are true round-reduced
 // SPECK-32/64 output differences under the input difference Delta with
@@ -199,6 +282,33 @@ func (s *SpeckScenario) Sample(r *prng.Rand, class int) []float64 {
 func (s *SpeckScenario) RandomSample(r *prng.Rand) []float64 {
 	return bits.ToFloats(make([]float64, 0, 32), r.Bytes(4))
 }
+
+// SampleBatch is the packed fast path of Sample: same draws, same bits,
+// no allocation. Class 1 re-keys a stack Cipher and encrypts the
+// plaintext pair in one interleaved pass; class 0's four random bytes
+// are the low half of one generator output, exactly as Bytes(4) lays
+// them out. SPECK does not implement PairScenario: at t = 2 every even
+// row is a class-0 random sample, so cross-sample pairing would never
+// pair two encryptions.
+func (s *SpeckScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
+	if class == 0 {
+		dst[0] = r.Uint64() & 0xffffffff
+		return
+	}
+	var c speck.Cipher
+	c.Expand([4]uint16{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()})
+	p := speck.Block{X: r.Uint16(), Y: r.Uint16()}
+	a, b := c.EncryptPairRounds(p, p.XOR(s.Delta), s.Rounds)
+	d := a.XOR(b)
+	dst[0] = uint64(d.X) | uint64(d.Y)<<16
+}
+
+// Compile-time checks that the packed fast paths stay wired up.
+var (
+	_ PairScenario  = (*GimliHashScenario)(nil)
+	_ PairScenario  = (*GimliCipherScenario)(nil)
+	_ BatchScenario = (*SpeckScenario)(nil)
+)
 
 // FuncScenario adapts an arbitrary fixed-input-length function to a
 // Scenario: differences are injected into the input of f and the

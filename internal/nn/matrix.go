@@ -57,6 +57,22 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a view (not a copy) of row i.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// SetRowBits expands packed {0,1} features into row i: bit j of packed
+// (bit j%64 of word j/64, the internal/bits packed-row layout) becomes
+// element (i, j) as 0.0 or 1.0 — exactly the floats bits.ToFloats
+// would produce, so networks fed through SetRowBits train and predict
+// bit-identically to networks fed the float rows. It panics if packed
+// holds fewer than Cols bits.
+func (m *Matrix) SetRowBits(i int, packed []uint64) {
+	if (m.Cols+63)/64 > len(packed) {
+		panic(fmt.Sprintf("nn: SetRowBits: %d words hold fewer than %d bits", len(packed), m.Cols))
+	}
+	row := m.Row(i)
+	for j := range row {
+		row[j] = float64(packed[j>>6] >> (uint(j) & 63) & 1)
+	}
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

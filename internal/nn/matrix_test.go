@@ -129,6 +129,53 @@ func TestFromRowsAndAccessors(t *testing.T) {
 	}
 }
 
+func TestLayerNamesAndSetLR(t *testing.T) {
+	if got := NewBatchNorm(3).Name(); got != "BatchNorm(3)" {
+		t.Fatalf("BatchNorm name %q", got)
+	}
+	if got := NewDropout(0.25, 3, 1).Name(); got != "Dropout(p=0.25)" {
+		t.Fatalf("Dropout name %q", got)
+	}
+	s := &SGD{LR: 0.1}
+	s.SetLR(0.05)
+	if s.LR != 0.05 {
+		t.Fatalf("SGD SetLR left LR at %v", s.LR)
+	}
+}
+
+func TestSetRowBits(t *testing.T) {
+	// 70 columns spans two packed words; bit i of the row lives at bit
+	// i%64 of word i/64.
+	m := NewMatrix(2, 70)
+	packed := []uint64{0xdeadbeefcafef00d, 0x2a}
+	m.SetRowBits(1, packed)
+	for j := 0; j < 70; j++ {
+		want := float64(packed[j/64] >> (j % 64) & 1)
+		if got := m.At(1, j); got != want {
+			t.Fatalf("bit %d expanded to %v, want %v", j, got, want)
+		}
+	}
+	for j := 0; j < 70; j++ {
+		if m.At(0, j) != 0 {
+			t.Fatal("SetRowBits touched another row")
+		}
+	}
+	// Extra packed words beyond the column count are ignored.
+	m.SetRowBits(0, []uint64{^uint64(0), ^uint64(0), ^uint64(0)})
+	if m.At(0, 69) != 1 {
+		t.Fatal("SetRowBits with extra words lost bits")
+	}
+}
+
+func TestSetRowBitsTooFewWordsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetRowBits accepted a packed slice shorter than the row")
+		}
+	}()
+	NewMatrix(1, 70).SetRowBits(0, []uint64{1})
+}
+
 func TestFromRowsRaggedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

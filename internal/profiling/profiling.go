@@ -1,0 +1,60 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile
+// flags of the repository's commands to runtime/pprof, so the hot
+// paths (dataset generation, training, batched inference) can be
+// inspected with `go tool pprof` without recompiling anything.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for a heap
+// profile at memPath; either path may be empty to disable that
+// profile. It returns a stop function that finishes the CPU profile
+// and snapshots the heap — callers must invoke it exactly once, before
+// any os.Exit on the success path (and on failure paths if partial
+// profiles are wanted).
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// Collect garbage first so the snapshot shows live steady-state
+			// memory, not whatever happened to be unreclaimed at exit.
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -3,6 +3,7 @@ package testkit
 import (
 	"fmt"
 
+	"repro/internal/bits"
 	"repro/internal/core"
 	"repro/internal/prng"
 )
@@ -47,8 +48,18 @@ func ScenarioDraws(s core.Scenario) Gen[ScenarioDraw] {
 // Class == Classes() exercises RandomSample; the sample itself is
 // drawn from prng.NewStream(draw.Seed, 0) so failures replay from the
 // printed counterexample.
+//
+// When s also implements core.BatchScenario, its packed SampleBatch
+// fast path is held to that interface's contract on every class draw:
+// from an identical generator it must produce exactly the bits of
+// Sample, consume exactly as much generator state, and leave the
+// trailing bits of the last packed word zero.
 func CheckScenario(t T, s core.Scenario, cfg Config) *Failure[ScenarioDraw] {
 	t.Helper()
+	bs, _ := s.(core.BatchScenario)
+	words := bits.PackedWords(s.FeatureLen())
+	packed := make([]uint64, words)
+	want := make([]uint64, words)
 	prop := func(d ScenarioDraw) error {
 		r := prng.NewStream(d.Seed, 0)
 		var vec []float64
@@ -64,6 +75,23 @@ func CheckScenario(t T, s core.Scenario, cfg Config) *Failure[ScenarioDraw] {
 			if x != 0 && x != 1 {
 				return fmt.Errorf("feature %d is %v, want 0 or 1", i, x)
 			}
+		}
+		if bs == nil || d.Class == s.Classes() {
+			return nil
+		}
+		rb := prng.NewStream(d.Seed, 0)
+		for i := range packed {
+			packed[i] = ^uint64(0) // dirty: SampleBatch must overwrite fully
+		}
+		bs.SampleBatch(rb, d.Class, packed)
+		bits.PackFloats(want, vec)
+		for i := range packed {
+			if packed[i] != want[i] {
+				return fmt.Errorf("SampleBatch word %d is %#x, Sample packs to %#x", i, packed[i], want[i])
+			}
+		}
+		if r.Uint64() != rb.Uint64() {
+			return fmt.Errorf("SampleBatch consumed different generator state than Sample")
 		}
 		return nil
 	}

@@ -24,8 +24,10 @@ trap 'rm -f "$TMP"' EXIT
 
 # Root package: dataset generation, batched inference, matrix kernels.
 # internal/nn: the training engine (BenchmarkFit) and kernel micro-benchmarks.
-go test . ./internal/nn/ -run '^$' \
-    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128' \
+# internal/gimli + internal/speck: the scalar and interleaved cipher
+# kernels behind the packed dataset fast path.
+go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ -run '^$' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt' \
     -benchtime "$BENCHTIME" -benchmem | tee "$TMP"
 
 go run ./cmd/benchdiff -snapshot "$OUT" -date "$DATE" < "$TMP"

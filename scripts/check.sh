@@ -45,11 +45,24 @@ if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
   done
 fi
 
-# --- Benchmark smoke: one iteration of the training-engine benchmarks
-# keeps them compiling and running; full measurements come from
-# `make bench` (scripts/bench.sh).
+# --- Benchmark smoke: one iteration of the training-engine and cipher
+# kernel benchmarks keeps them compiling and running; full measurements
+# come from `make bench` (scripts/bench.sh). The regression gate then
+# replays the two most recent committed BENCH_*.json snapshots through
+# benchdiff -max-regress, so a snapshot that records a ns/op regression
+# past BENCH_MAX_REGRESS percent (default 100, i.e. >2× slower) cannot
+# land silently. Different machines produced different snapshots, hence
+# the deliberately loose default; tighten per-run with
+# BENCH_MAX_REGRESS=20 ./scripts/check.sh.
 if [[ "${CHECK_BENCH:-1}" != "0" ]]; then
   go test ./internal/nn/ -run '^$' -bench Fit -benchtime 1x
+  go test ./internal/gimli/ ./internal/speck/ -run '^$' \
+      -bench 'PermuteRounds|SpeckEncrypt' -benchtime 1x
+  mapfile -t SNAPS < <(ls BENCH_*.json 2>/dev/null | sort | tail -2)
+  if [[ "${#SNAPS[@]}" -eq 2 ]]; then
+    go run ./cmd/benchdiff -compare -max-regress "${BENCH_MAX_REGRESS:-100}" \
+        "${SNAPS[0]}" "${SNAPS[1]}"
+  fi
 fi
 
 # --- Coverage gate: seed baselines, measured at the PR that introduced
