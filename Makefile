@@ -15,6 +15,12 @@ conformance:
 bench:
 	./scripts/bench.sh
 
+# Start the batched inference service (cmd/served) on :8080. Preload
+# models saved with `distinguisher -savedist` via SERVE_FLAGS, e.g.
+#   make serve SERVE_FLAGS='-model speck5=models/speck5.gob'
+serve:
+	go run ./cmd/served $(SERVE_FLAGS)
+
 # Paper-table benchmarks (full Table 1–3 pipelines, one iteration).
 bench-tables:
 	go test . -run xxx -bench . -benchtime 1x
@@ -24,4 +30,4 @@ bench-tables:
 bench-perf:
 	go test . -run xxx -bench 'GenerateDataset|PredictBatch|MatMul|OracleGameOnline' -benchtime 3x
 
-.PHONY: check conformance bench bench-tables bench-perf
+.PHONY: check conformance bench serve bench-tables bench-perf

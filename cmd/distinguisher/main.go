@@ -17,6 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"slices"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/profiling"
@@ -30,7 +33,7 @@ func main() {
 		train      = flag.Int("train", 8192, "training samples per class")
 		val        = flag.Int("val", 2048, "validation samples per class")
 		epochs     = flag.Int("epochs", 5, "training epochs")
-		workers    = flag.Int("workers", 0, "training workers per mini-batch (0 = GOMAXPROCS); trained weights are byte-identical at any value")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "training workers per mini-batch (must be >= 1); trained weights are byte-identical at any value")
 		hidden     = flag.Int("hidden", 128, "hidden width of the default MLP")
 		arch       = flag.String("arch", "", "use a Table 3 architecture (mlp1..mlp6, lstm1, lstm2, cnn1, cnn2)")
 		classifier = flag.String("classifier", "nn", "nn | svm | logistic | bitbias")
@@ -45,6 +48,12 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*target, *classifier, *workers, *loadDist); err != nil {
+		fmt.Fprintln(os.Stderr, "distinguisher:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -65,6 +74,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "distinguisher:", err)
 		os.Exit(1)
 	}
+}
+
+// classifierNames lists the -classifier values buildClassifier accepts.
+var classifierNames = []string{"nn", "svm", "logistic", "bitbias"}
+
+// validateFlags rejects bad flag values before any work starts, so a
+// typo surfaces as a usage error instead of a mid-run failure. With
+// -loaddist the scenario comes from the file, so -target is not
+// checked.
+func validateFlags(target, classifier string, workers int, loadDist string) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if loadDist != "" {
+		return nil
+	}
+	if !slices.Contains(core.ScenarioNames, target) {
+		return fmt.Errorf("unknown -target %q (registered scenarios: %s)",
+			target, strings.Join(core.ScenarioNames, ", "))
+	}
+	if !slices.Contains(classifierNames, classifier) {
+		return fmt.Errorf("unknown -classifier %q (want %s)",
+			classifier, strings.Join(classifierNames, ", "))
+	}
+	return nil
 }
 
 // runLoaded is the online-only mode: the paper's workflow of storing

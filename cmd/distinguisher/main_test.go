@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestValidateFlags(t *testing.T) {
+	// Every registered scenario passes with a sane worker count.
+	for _, name := range core.ScenarioNames {
+		if err := validateFlags(name, "nn", 1, ""); err != nil {
+			t.Errorf("validateFlags(%q) = %v", name, err)
+		}
+	}
+	// Zero or negative workers are rejected even in -loaddist mode.
+	for _, w := range []int{0, -1, -8} {
+		if err := validateFlags("speck", "nn", w, ""); err == nil {
+			t.Errorf("workers=%d accepted", w)
+		}
+		if err := validateFlags("", "", w, "d.gob"); err == nil {
+			t.Errorf("workers=%d accepted with -loaddist", w)
+		}
+	}
+	// Unknown targets produce a usage error that lists the registry.
+	err := validateFlags("aes", "nn", 1, "")
+	if err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	for _, name := range core.ScenarioNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("target error %q does not list scenario %q", err, name)
+		}
+	}
+	if err := validateFlags("speck", "forest", 1, ""); err == nil ||
+		!strings.Contains(err.Error(), "svm") {
+		t.Errorf("unknown classifier gave %v", err)
+	}
+	// -loaddist skips target/classifier checks: both come from the file.
+	if err := validateFlags("whatever", "whatever", 2, "d.gob"); err != nil {
+		t.Errorf("loaddist mode rejected: %v", err)
+	}
+}

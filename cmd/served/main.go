@@ -1,0 +1,132 @@
+// Command served runs the batched distinguisher inference service:
+// the online phase of Algorithm 2 behind an HTTP API, serving trained
+// distinguisher files produced by `distinguisher -savedist`.
+//
+// Examples:
+//
+//	served -model speck5=speck5.gob
+//	served -addr :9090 -model a=a.gob -model b=b.gob -max-batch 512 -max-delay 1ms
+//
+// Endpoints:
+//
+//	POST /v1/classify     {"model":"speck5","rows":[[0,1,...],...]} → predicted classes
+//	POST /v1/distinguish  {"model":"speck5","rows":[...],"labels":[0,1,...]} → CIPHER/RANDOM verdict
+//	GET  /models          list loaded models
+//	POST /models          {"name":"x","path":"x.gob"} hot-(re)load a model
+//	GET  /metrics         request counts, batch-size histogram, queue depth, p50/p99 latency
+//	GET  /healthz         liveness
+//
+// SIGINT/SIGTERM stop the listener, drain in-flight requests (bounded
+// by -drain), then exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path flags.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string {
+	var parts []string
+	for _, e := range *m {
+		parts = append(parts, e.name+"="+e.path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxBatch = flag.Int("max-batch", 256, "rows per coalesced inference batch (also the per-request row cap)")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "max time a non-full batch waits to coalesce")
+		workers  = flag.Int("workers", 2, "inference workers, each with its own scratch matrix")
+		queue    = flag.Int("queue", 256, "request queue depth; beyond it requests are shed with 429")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (queue wait + inference)")
+		drain    = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	)
+	flag.Var(&models, "model", "name=path of a distinguisher file (repeatable); more can be loaded later via POST /models")
+	flag.Parse()
+
+	if err := run(*addr, models, *maxBatch, *maxDelay, *workers, *queue, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, models modelFlags, maxBatch int, maxDelay time.Duration,
+	workers, queue int, timeout, drain time.Duration) error {
+
+	if maxBatch < 1 || workers < 1 || queue < 1 {
+		return fmt.Errorf("-max-batch, -workers and -queue must all be ≥ 1")
+	}
+	srv := serve.New(serve.Config{
+		Scheduler: serve.SchedulerConfig{
+			MaxBatch:   maxBatch,
+			MaxDelay:   maxDelay,
+			Workers:    workers,
+			QueueDepth: queue,
+		},
+		RequestTimeout: timeout,
+	})
+	for _, m := range models {
+		e, err := srv.Registry().Load(m.name, m.path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("served: loaded %s v%d from %s (%s, %d features, offline accuracy %.4f)\n",
+			e.Name, e.Version, e.Path, e.Dist.Scenario.Name(), e.FeatureLen(), e.Dist.Accuracy)
+	}
+	if len(models) == 0 {
+		fmt.Println("served: no -model flags; load models at runtime via POST /models")
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("served: listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("served: signal received, draining")
+
+	// Stop accepting, let in-flight handlers finish (bounded), then
+	// drain the scheduler so every accepted request is answered.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := httpSrv.Shutdown(drainCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("served: drained cleanly")
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestModelFlags(t *testing.T) {
+	var m modelFlags
+	if err := m.Set("speck5=models/speck5.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("gimli=g.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0].name != "speck5" || m[0].path != "models/speck5.gob" {
+		t.Fatalf("parsed %+v", m)
+	}
+	if got := m.String(); got != "speck5=models/speck5.gob,gimli=g.gob" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name="} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadBounds(t *testing.T) {
+	for _, c := range []struct{ batch, workers, queue int }{
+		{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2},
+	} {
+		if err := run(":0", nil, c.batch, 1, c.workers, c.queue, 1, 1); err == nil {
+			t.Errorf("run accepted max-batch=%d workers=%d queue=%d", c.batch, c.workers, c.queue)
+		}
+	}
+}

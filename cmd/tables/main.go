@@ -20,6 +20,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"slices"
+	"strings"
 
 	"repro/internal/bias"
 	"repro/internal/core"
@@ -31,6 +34,31 @@ import (
 // out is swapped for a buffer by the tests.
 var out io.Writer = os.Stdout
 
+// tableNames and figureNames list the values -table and -figure
+// accept; the dispatch chain in main covers exactly these.
+var (
+	tableNames  = []string{"1", "2", "3", "complexity", "e", "ablation", "multiclass", "sweep", "bias"}
+	figureNames = []string{"1"}
+)
+
+// validateFlags rejects bad flag values up front so a typo surfaces
+// as a usage error listing what is registered, not as silent no-op
+// output or a mid-run failure.
+func validateFlags(table, figure string, workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if table != "" && !slices.Contains(tableNames, table) {
+		return fmt.Errorf("unknown -table %q (registered tables: %s)",
+			table, strings.Join(tableNames, ", "))
+	}
+	if figure != "" && !slices.Contains(figureNames, figure) {
+		return fmt.Errorf("unknown -figure %q (registered figures: %s)",
+			figure, strings.Join(figureNames, ", "))
+	}
+	return nil
+}
+
 func main() {
 	var (
 		table      = flag.String("table", "", "table to regenerate: 1, 2, 3, complexity, e, ablation, multiclass, sweep, bias")
@@ -40,11 +68,17 @@ func main() {
 		seed       = flag.Uint64("seed", 2020, "experiment seed")
 		samples    = flag.Int("samples", 20000, "Monte-Carlo samples for Table 1 verification")
 		rounds     = flag.Int("rounds", 8, "round count for Table 3 / ablation")
-		workers    = flag.Int("workers", 0, "training workers per mini-batch (0 = GOMAXPROCS); results are byte-identical at any value")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "training workers per mini-batch (must be >= 1); results are byte-identical at any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*table, *figure, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -17,6 +17,35 @@ func captureOut(t *testing.T) *bytes.Buffer {
 	return buf
 }
 
+func TestValidateFlags(t *testing.T) {
+	for _, name := range tableNames {
+		if err := validateFlags(name, "", 1); err != nil {
+			t.Errorf("table %q rejected: %v", name, err)
+		}
+	}
+	if err := validateFlags("", "1", 4); err != nil {
+		t.Errorf("figure 1 rejected: %v", err)
+	}
+	for _, w := range []int{0, -3} {
+		if err := validateFlags("1", "", w); err == nil {
+			t.Errorf("workers=%d accepted", w)
+		}
+	}
+	err := validateFlags("99", "", 1)
+	if err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	for _, name := range tableNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("table error %q does not list %q", err, name)
+		}
+	}
+	if err := validateFlags("", "7", 1); err == nil ||
+		!strings.Contains(err.Error(), "registered figures") {
+		t.Errorf("unknown figure gave %v", err)
+	}
+}
+
 func TestPrintFigure1(t *testing.T) {
 	buf := captureOut(t)
 	if err := printFigure1(); err != nil {

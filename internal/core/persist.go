@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/bits"
 	"repro/internal/nn"
 )
 
@@ -93,7 +94,11 @@ func SaveDistinguisher(w io.Writer, d *Distinguisher, target string, rounds int)
 
 // LoadDistinguisher reads a distinguisher written by SaveDistinguisher
 // and reconstructs its scenario and network, ready for Distinguish or
-// PlayGames.
+// PlayGames. Distinguisher files cross process boundaries (training
+// writes them, cmd/served and cmd/distinguisher -loaddist read them),
+// so every decoded field is validated: a corrupt or truncated file
+// yields a descriptive error, never a panic or an inconsistent model
+// (FuzzLoadDistinguisher enforces this).
 func LoadDistinguisher(r io.Reader) (*Distinguisher, error) {
 	var df distFile
 	if err := gob.NewDecoder(r).Decode(&df); err != nil {
@@ -105,13 +110,22 @@ func LoadDistinguisher(r io.Reader) (*Distinguisher, error) {
 	if df.Version != distVersion {
 		return nil, fmt.Errorf("core: unsupported distinguisher version %d", df.Version)
 	}
+	if df.Accuracy < 0 || df.Accuracy > 1 || df.Accuracy != df.Accuracy {
+		return nil, fmt.Errorf("core: distinguisher file has accuracy %v outside [0,1]", df.Accuracy)
+	}
+	if df.TrainAcc < 0 || df.TrainAcc > 1 || df.TrainAcc != df.TrainAcc {
+		return nil, fmt.Errorf("core: distinguisher file has training accuracy %v outside [0,1]", df.TrainAcc)
+	}
+	if df.TrainN < 0 || df.ValN < 0 {
+		return nil, fmt.Errorf("core: distinguisher file has negative sample counts (train %d, val %d)", df.TrainN, df.ValN)
+	}
 	s, err := NewScenarioByName(df.Target, df.Rounds)
 	if err != nil {
 		return nil, err
 	}
 	net, err := nn.Load(bytes.NewReader(df.Model))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: decoding distinguisher model: %w", err)
 	}
 	if net.InDim() != s.FeatureLen() || net.Classes() != s.Classes() {
 		return nil, fmt.Errorf("core: model shape %d→%d does not match scenario %s (%d→%d)",
@@ -141,6 +155,11 @@ type datasetFile struct {
 const (
 	datasetMagic   = "mldd-dataset"
 	datasetVersion = 1
+	// maxFeatureBits bounds the per-sample feature length a dataset
+	// file may declare (16M bits ≈ 2 MB/sample; the largest real
+	// scenario uses 1536). It exists purely so a corrupt header cannot
+	// request an absurd allocation or overflow the row-size arithmetic.
+	maxFeatureBits = 1 << 24
 )
 
 // SaveDataset writes the dataset's packed backing store and labels to
@@ -156,7 +175,11 @@ func SaveDataset(w io.Writer, d *Dataset) error {
 	})
 }
 
-// LoadDataset reads a dataset written by SaveDataset.
+// LoadDataset reads a dataset written by SaveDataset. All decoded
+// dimensions are validated before any dependent allocation — a
+// corrupt or truncated file (wrong word count, negative feature
+// length, negative labels) returns a descriptive error instead of
+// panicking or allocating a bogus backing store.
 func LoadDataset(r io.Reader) (*Dataset, error) {
 	var df datasetFile
 	if err := gob.NewDecoder(r).Decode(&df); err != nil {
@@ -171,11 +194,23 @@ func LoadDataset(r io.Reader) (*Dataset, error) {
 	if df.Feat < 0 {
 		return nil, fmt.Errorf("core: dataset has negative feature length %d", df.Feat)
 	}
-	d := newDataset(len(df.Y), df.Feat)
-	if len(df.Bits) != len(d.bits) {
-		return nil, fmt.Errorf("core: dataset has %d packed words for %d×%d bits, want %d",
-			len(df.Bits), len(df.Y), df.Feat, len(d.bits))
+	if df.Feat > maxFeatureBits {
+		return nil, fmt.Errorf("core: dataset feature length %d exceeds the %d-bit limit", df.Feat, maxFeatureBits)
 	}
+	// Consistency check BEFORE newDataset: a corrupt header must not
+	// drive the size of the backing allocation (the bound on Feat also
+	// keeps len(Y)*words below overflow for any decodable Y).
+	words := bits.PackedWords(df.Feat)
+	if len(df.Bits) != len(df.Y)*words {
+		return nil, fmt.Errorf("core: dataset has %d packed words for %d×%d bits, want %d",
+			len(df.Bits), len(df.Y), df.Feat, len(df.Y)*words)
+	}
+	for i, y := range df.Y {
+		if y < 0 {
+			return nil, fmt.Errorf("core: dataset label %d is negative (%d)", i, y)
+		}
+	}
+	d := newDataset(len(df.Y), df.Feat)
 	copy(d.Y, df.Y)
 	copy(d.bits, df.Bits)
 	return d, nil

@@ -1,0 +1,203 @@
+// Package metrics provides the small set of in-process instruments the
+// serving layer (internal/serve, cmd/served) exposes on /metrics:
+// monotonic counters, gauges, a power-of-two bucketed histogram for
+// batch sizes, and a sliding-window recorder for latency quantiles.
+//
+// Everything is stdlib-only and safe for concurrent use. The
+// instruments deliberately mirror the Prometheus text-format shapes
+// (counter, gauge, histogram buckets with cumulative counts and a +Inf
+// bucket, summary quantiles) so a scrape endpoint can render them
+// directly, but there is no dependency on any client library.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into power-of-two buckets
+// (le 1, 2, 4, …, cap, +Inf). The geometric bounds match the quantity
+// it exists for — inference batch sizes, where "did requests coalesce
+// at all" is the ≤1 bucket and doublings are the natural resolution.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds, excluding +Inf
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// NewHistogram builds a histogram with power-of-two bucket bounds
+// 1, 2, 4, … up to the first power covering max (min 1).
+func NewHistogram(max uint64) *Histogram {
+	var bounds []uint64
+	for b := uint64(1); ; b *= 2 {
+		bounds = append(bounds, b)
+		if b >= max || b > 1<<62 {
+			break
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// rendering: per-bucket non-cumulative counts plus totals.
+type HistogramSnapshot struct {
+	Bounds []uint64 // upper bounds, excluding +Inf
+	Counts []uint64 // observations in (prev, Bounds[i]]
+	Inf    uint64   // observations above the last bound
+	Count  uint64
+	Sum    uint64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)),
+		Inf:    h.inf.Load(),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Window records timestamped float64 samples (typically latencies in
+// seconds) in a fixed-capacity ring and answers quantile queries over
+// the samples that fall inside a trailing time window. When the ring
+// wraps, the oldest samples are dropped first, so under sustained load
+// the effective window is min(duration, capacity/arrival-rate) — a
+// deliberate bound on both memory and scrape cost.
+type Window struct {
+	mu    sync.Mutex
+	dur   time.Duration
+	buf   []sample
+	head  int // next write position
+	n     int // live samples (≤ len(buf))
+	total uint64
+}
+
+type sample struct {
+	at time.Time
+	v  float64
+}
+
+// NewWindow builds a sliding window covering dur with room for up to
+// capacity samples (minimum 16).
+func NewWindow(dur time.Duration, capacity int) *Window {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Window{dur: dur, buf: make([]sample, capacity)}
+}
+
+// Observe records v now.
+func (w *Window) Observe(v float64) { w.ObserveAt(time.Now(), v) }
+
+// ObserveAt records v with an explicit timestamp (tests drive this
+// directly to stay deterministic).
+func (w *Window) ObserveAt(at time.Time, v float64) {
+	w.mu.Lock()
+	w.buf[w.head] = sample{at: at, v: v}
+	w.head = (w.head + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Total returns the number of observations ever recorded, including
+// those that have since left the window.
+func (w *Window) Total() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Quantiles returns the qth quantiles (0 ≤ q ≤ 1, nearest-rank) of the
+// samples observed within the window ending at now, and the number of
+// such samples. With no live samples the quantile values are all 0.
+func (w *Window) Quantiles(now time.Time, qs ...float64) ([]float64, int) {
+	cutoff := now.Add(-w.dur)
+	w.mu.Lock()
+	live := make([]float64, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		s := w.buf[(w.head-1-i+2*len(w.buf))%len(w.buf)]
+		if s.at.Before(cutoff) {
+			// Samples are time-ordered newest-first from head; the
+			// first stale one ends the scan.
+			break
+		}
+		live = append(live, s.v)
+	}
+	w.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(live) == 0 {
+		return out, 0
+	}
+	sort.Float64s(live)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = live[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = live[len(live)-1]
+			continue
+		}
+		// Nearest-rank: the smallest sample with at least q·n samples
+		// at or below it.
+		k := int(q*float64(len(live))+0.9999999) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(live) {
+			k = len(live) - 1
+		}
+		out[i] = live[k]
+	}
+	return out, len(live)
+}

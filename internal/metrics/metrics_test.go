@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram(100)
+	want := []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+	s := h.Snapshot()
+	if len(s.Bounds) != len(want) {
+		t.Fatalf("bounds %v, want %v", s.Bounds, want)
+	}
+	for i, b := range want {
+		if s.Bounds[i] != b {
+			t.Fatalf("bounds %v, want %v", s.Bounds, want)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(8) // bounds 1 2 4 8
+	for _, v := range []uint64{1, 1, 2, 3, 5, 8, 9, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 1+1+2+3+5+8+9+1000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// ≤1 gets {1,1}; ≤2 gets {2}; ≤4 gets {3}; ≤8 gets {5,8}.
+	wantCounts := []uint64{2, 1, 1, 2}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d (≤%d) = %d, want %d", i, s.Bounds[i], s.Counts[i], w)
+		}
+	}
+	if s.Inf != 2 { // {9, 1000}
+		t.Fatalf("inf bucket = %d, want 2", s.Inf)
+	}
+}
+
+func TestHistogramMinOneBucket(t *testing.T) {
+	h := NewHistogram(0)
+	if s := h.Snapshot(); len(s.Bounds) != 1 || s.Bounds[0] != 1 {
+		t.Fatalf("bounds = %v, want [1]", s.Bounds)
+	}
+}
+
+func TestWindowQuantiles(t *testing.T) {
+	w := NewWindow(time.Minute, 64)
+	base := time.Unix(1000, 0)
+	for i := 1; i <= 100; i++ {
+		w.ObserveAt(base, float64(i))
+	}
+	// Capacity 64: only the newest 64 samples (37..100) survive.
+	qs, n := w.Quantiles(base, 0, 0.5, 0.99, 1)
+	if n != 64 {
+		t.Fatalf("live samples = %d, want 64", n)
+	}
+	if qs[0] != 37 || qs[3] != 100 {
+		t.Fatalf("min/max = %v/%v, want 37/100", qs[0], qs[3])
+	}
+	// p50 nearest-rank over 37..100: 32nd of 64 = 68.
+	if qs[1] != 68 {
+		t.Fatalf("p50 = %v, want 68", qs[1])
+	}
+	// p99: ceil(0.99*64)=64th = 100.
+	if qs[2] != 100 {
+		t.Fatalf("p99 = %v, want 100", qs[2])
+	}
+	if w.Total() != 100 {
+		t.Fatalf("total = %d, want 100", w.Total())
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	w := NewWindow(10*time.Second, 64)
+	base := time.Unix(1000, 0)
+	w.ObserveAt(base, 1)
+	w.ObserveAt(base.Add(5*time.Second), 2)
+	w.ObserveAt(base.Add(20*time.Second), 3)
+	qs, n := w.Quantiles(base.Add(21*time.Second), 0.5)
+	if n != 1 || qs[0] != 3 {
+		t.Fatalf("got %d live, p50 %v; want 1 live, p50 3", n, qs[0])
+	}
+	// Empty window: zero values, zero count.
+	qs, n = w.Quantiles(base.Add(time.Hour), 0.5)
+	if n != 0 || qs[0] != 0 {
+		t.Fatalf("empty window returned %d live, p50 %v", n, qs[0])
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(time.Minute, 256)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				w.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", w.Total())
+	}
+	if _, n := w.Quantiles(time.Now(), 0.5); n != 256 {
+		t.Fatalf("live = %d, want full ring 256", n)
+	}
+}

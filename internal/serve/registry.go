@@ -1,0 +1,138 @@
+// Package serve is the online phase of Algorithm 2 as a network
+// service: trained distinguishers are loaded from disk into a
+// versioned model registry and queried over HTTP, with concurrent
+// classification requests coalesced into single batched forward
+// passes (see Scheduler) and a production envelope of load shedding,
+// deadlines, graceful drain and /metrics instrumentation around them.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// Entry is one immutable registry slot: a loaded distinguisher plus
+// its provenance. Reloading a name produces a fresh Entry with a
+// bumped Version; batches already holding the old Entry finish
+// against the old weights, so a swap never tears a batch.
+type Entry struct {
+	Name     string
+	Path     string
+	Version  int
+	LoadedAt time.Time
+	Dist     *core.Distinguisher
+	net      *nn.Network
+}
+
+// Net returns the underlying network. Workers build their own
+// nn.Predictor replicas from it; the network weights themselves are
+// read-only after load, so sharing it across goroutines is safe.
+func (e *Entry) Net() *nn.Network { return e.net }
+
+// FeatureLen returns the scenario's feature vector length.
+func (e *Entry) FeatureLen() int { return e.Dist.Scenario.FeatureLen() }
+
+// Classes returns the scenario's class count t.
+func (e *Entry) Classes() int { return e.Dist.Scenario.Classes() }
+
+// Registry maps model names to loaded distinguishers. Lookups are
+// lock-free loads of an atomically swapped copy-on-write map, so the
+// request path never contends with a hot reload; writers (Load,
+// Remove) are serialized by a mutex.
+type Registry struct {
+	mu sync.Mutex // serializes writers
+	m  atomic.Pointer[map[string]*Entry]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	empty := map[string]*Entry{}
+	r.m.Store(&empty)
+	return r
+}
+
+// Load reads the distinguisher file at path and installs it under
+// name, atomically swapping the visible model map. Reloading an
+// existing name bumps its version; concurrent readers see either the
+// old or the new entry, never a partial one. The loaded model must be
+// NN-backed (the only kind core.SaveDistinguisher produces).
+func (r *Registry) Load(name, path string) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model name must be non-empty")
+	}
+	d, err := core.LoadDistinguisherFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
+	}
+	nc, ok := d.Classifier.(*core.NNClassifier)
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q: classifier %T is not NN-backed", name, d.Classifier)
+	}
+	e := &Entry{
+		Name:     name,
+		Path:     path,
+		Version:  1,
+		LoadedAt: time.Now(),
+		Dist:     d,
+		net:      nc.Net,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.m.Load()
+	if prev, ok := old[name]; ok {
+		e.Version = prev.Version + 1
+	}
+	next := make(map[string]*Entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = e
+	r.m.Store(&next)
+	return e, nil
+}
+
+// Get returns the current entry for name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	e, ok := (*r.m.Load())[name]
+	return e, ok
+}
+
+// Remove deletes name from the registry, reporting whether it was
+// present. In-flight batches holding the entry still complete.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.m.Load()
+	if _, ok := old[name]; !ok {
+		return false
+	}
+	next := make(map[string]*Entry, len(old))
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.m.Store(&next)
+	return true
+}
+
+// List returns the current entries sorted by name.
+func (r *Registry) List() []*Entry {
+	m := *r.m.Load()
+	out := make([]*Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of loaded models.
+func (r *Registry) Len() int { return len(*r.m.Load()) }

@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Config shapes a Server. Zero values select the defaults documented
+// on each field.
+type Config struct {
+	// Scheduler bounds the micro-batching layer (see SchedulerConfig).
+	Scheduler SchedulerConfig
+	// RequestTimeout is the per-request deadline covering queue wait
+	// plus inference (default 5s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s,
+	// rounded up to whole seconds).
+	RetryAfter time.Duration
+	// WindowSize is the latency window length for /metrics quantiles
+	// (default 1 minute).
+	WindowSize time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = time.Minute
+	}
+}
+
+// Server is the batched distinguisher inference service: a model
+// registry, a micro-batching scheduler, and the HTTP handlers that
+// connect them.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	sched *Scheduler
+	mux   *http.ServeMux
+	start time.Time
+
+	requests    map[string]*metrics.Counter // per endpoint
+	shedded     *metrics.Counter
+	timeouts    *metrics.Counter
+	latClassify *metrics.Window
+	latDisting  *metrics.Window
+}
+
+// New builds a Server with a running scheduler. Call Close to drain
+// it.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.sched.start()
+	return s
+}
+
+// newServer builds the Server with an unstarted scheduler; tests use
+// this to exercise the shedding path deterministically.
+func newServer(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(),
+		sched: newScheduler(cfg.Scheduler),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		requests: map[string]*metrics.Counter{
+			"classify":    {},
+			"distinguish": {},
+			"models":      {},
+		},
+		shedded:     &metrics.Counter{},
+		timeouts:    &metrics.Counter{},
+		latClassify: metrics.NewWindow(cfg.WindowSize, 4096),
+		latDisting:  metrics.NewWindow(cfg.WindowSize, 4096),
+	}
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/distinguish", s.handleDistinguish)
+	s.mux.HandleFunc("GET /models", s.handleModelsList)
+	s.mux.HandleFunc("POST /models", s.handleModelsLoad)
+	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelsDelete)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Registry exposes the model registry for pre-loading models before
+// the listener starts.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the scheduler. Call it after the HTTP listener has
+// stopped accepting requests (http.Server.Shutdown), so no Submit
+// races the drain.
+func (s *Server) Close() { s.sched.Stop() }
+
+// --- request/response shapes ---
+
+// classifyRequest is the body of /v1/classify and /v1/distinguish.
+// Feature rows arrive either as float rows (JSON arrays of 0/1) or as
+// hex strings packing the feature bits in the repository's
+// little-endian bit order (bits.Hex of the feature bytes); exactly one
+// of the two must be set.
+type classifyRequest struct {
+	Model string      `json:"model"`
+	Rows  [][]float64 `json:"rows,omitempty"`
+	Hex   []string    `json:"hex,omitempty"`
+	// Labels (distinguish only): the class index each query was made
+	// with, cycling the scenario's t classes as in Algorithm 2.
+	Labels []int `json:"labels,omitempty"`
+	// Sigmas (distinguish only) is the decision threshold (default 3).
+	Sigmas float64 `json:"sigmas,omitempty"`
+}
+
+type classifyResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Classes []int  `json:"classes"`
+}
+
+type distinguishResponse struct {
+	Model           string  `json:"model"`
+	Version         int     `json:"version"`
+	Queries         int     `json:"queries"`
+	Accuracy        float64 `json:"accuracy"`
+	OfflineAccuracy float64 `json:"offlineAccuracy"`
+	Verdict         string  `json:"verdict"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+// decodeRows parses and validates the request body, resolves the
+// model, and returns the feature rows at the model's width. On error
+// it writes the response itself and returns ok=false.
+func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request) (*Entry, *classifyRequest, [][]float64, bool) {
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return nil, nil, nil, false
+	}
+	entry, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q (GET /models lists loaded models)", req.Model)
+		return nil, nil, nil, false
+	}
+	if (len(req.Rows) == 0) == (len(req.Hex) == 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of rows or hex must be non-empty")
+		return nil, nil, nil, false
+	}
+	featLen := entry.FeatureLen()
+	rows := req.Rows
+	if len(req.Hex) > 0 {
+		rows = make([][]float64, len(req.Hex))
+		wantBytes := (featLen + 7) / 8
+		for i, h := range req.Hex {
+			b, err := bits.FromHex(h)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "hex row %d: %v", i, err)
+				return nil, nil, nil, false
+			}
+			if len(b) != wantBytes {
+				writeError(w, http.StatusBadRequest, "hex row %d has %d bytes, want %d (%d feature bits)",
+					i, len(b), wantBytes, featLen)
+				return nil, nil, nil, false
+			}
+			rows[i] = bits.ToFloats(make([]float64, 0, len(b)*8), b)[:featLen]
+		}
+	} else {
+		for i, row := range rows {
+			if len(row) != featLen {
+				writeError(w, http.StatusBadRequest, "row %d has %d features, model %q wants %d",
+					i, len(row), req.Model, featLen)
+				return nil, nil, nil, false
+			}
+		}
+	}
+	if len(rows) > s.sched.MaxBatch() {
+		writeError(w, http.StatusRequestEntityTooLarge, "request has %d rows, max %d per request (split the batch)",
+			len(rows), s.sched.MaxBatch())
+		return nil, nil, nil, false
+	}
+	return entry, &req, rows, true
+}
+
+// submit routes rows through the scheduler and maps the failure modes
+// onto HTTP codes. On error it writes the response itself.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, entry *Entry, rows [][]float64) ([]int, bool) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	classes, err := s.sched.Submit(ctx, entry, rows)
+	switch {
+	case err == nil:
+		return classes, true
+	case errors.Is(err, ErrOverloaded):
+		s.shedded.Inc()
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry after %ds", secs)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request deadline (%s) exceeded", s.cfg.RequestTimeout)
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, false
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.requests["classify"].Inc()
+	started := time.Now()
+	entry, _, rows, ok := s.decodeRows(w, r)
+	if !ok {
+		return
+	}
+	classes, ok := s.submit(w, r, entry, rows)
+	if !ok {
+		return
+	}
+	s.latClassify.Observe(time.Since(started).Seconds())
+	writeJSON(w, http.StatusOK, classifyResponse{
+		Model:   entry.Name,
+		Version: entry.Version,
+		Classes: classes,
+	})
+}
+
+// handleDistinguish is the online phase of Algorithm 2 over HTTP: the
+// client queried an unknown oracle cycling the scenario's classes,
+// and the server scores the classifier's agreement a′ against the
+// intended labels and decides CIPHER vs RANDOM vs INCONCLUSIVE at the
+// offline accuracy recorded in the model file.
+func (s *Server) handleDistinguish(w http.ResponseWriter, r *http.Request) {
+	s.requests["distinguish"].Inc()
+	started := time.Now()
+	entry, req, rows, ok := s.decodeRows(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Labels) != len(rows) {
+		writeError(w, http.StatusBadRequest, "%d labels for %d rows", len(req.Labels), len(rows))
+		return
+	}
+	t := entry.Classes()
+	for i, l := range req.Labels {
+		if l < 0 || l >= t {
+			writeError(w, http.StatusBadRequest, "label %d is %d, model %q has %d classes", i, l, entry.Name, t)
+			return
+		}
+	}
+	sigmas := req.Sigmas
+	if sigmas <= 0 {
+		sigmas = 3
+	}
+	classes, ok := s.submit(w, r, entry, rows)
+	if !ok {
+		return
+	}
+	aPrime := stats.Accuracy(classes, req.Labels)
+	verdict, err := stats.Decide(entry.Dist.Accuracy, t, aPrime, len(rows), sigmas)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.latDisting.Observe(time.Since(started).Seconds())
+	writeJSON(w, http.StatusOK, distinguishResponse{
+		Model:           entry.Name,
+		Version:         entry.Version,
+		Queries:         len(rows),
+		Accuracy:        aPrime,
+		OfflineAccuracy: entry.Dist.Accuracy,
+		Verdict:         verdict.String(),
+	})
+}
+
+// modelInfo is the /models listing shape.
+type modelInfo struct {
+	Name       string  `json:"name"`
+	Path       string  `json:"path"`
+	Version    int     `json:"version"`
+	Scenario   string  `json:"scenario"`
+	FeatureLen int     `json:"featureLen"`
+	Classes    int     `json:"classes"`
+	Accuracy   float64 `json:"accuracy"`
+	LoadedAt   string  `json:"loadedAt"`
+}
+
+func infoOf(e *Entry) modelInfo {
+	return modelInfo{
+		Name:       e.Name,
+		Path:       e.Path,
+		Version:    e.Version,
+		Scenario:   e.Dist.Scenario.Name(),
+		FeatureLen: e.FeatureLen(),
+		Classes:    e.Classes(),
+		Accuracy:   e.Dist.Accuracy,
+		LoadedAt:   e.LoadedAt.UTC().Format(time.RFC3339),
+	}
+}
+
+func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
+	s.requests["models"].Inc()
+	entries := s.reg.List()
+	out := make([]modelInfo, len(entries))
+	for i, e := range entries {
+		out[i] = infoOf(e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleModelsLoad hot-(re)loads a distinguisher file into the
+// registry: POST {"name": "...", "path": "..."}. The swap is atomic;
+// in-flight batches finish on the old weights.
+func (s *Server) handleModelsLoad(w http.ResponseWriter, r *http.Request) {
+	s.requests["models"].Inc()
+	var req struct {
+		Name string `json:"name"`
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		writeError(w, http.StatusBadRequest, "name and path must both be set")
+		return
+	}
+	e, err := s.reg.Load(req.Name, req.Path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(e))
+}
+
+func (s *Server) handleModelsDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests["models"].Inc()
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.reg.Len(),
+		"uptime": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the in-process instruments in the Prometheus
+// text exposition format (rendered by hand; no client library).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	var b strings.Builder
+	fmt.Fprintf(&b, "served_uptime_seconds %.3f\n", now.Sub(s.start).Seconds())
+	fmt.Fprintf(&b, "served_models %d\n", s.reg.Len())
+	for _, ep := range []string{"classify", "distinguish", "models"} {
+		fmt.Fprintf(&b, "served_requests_total{endpoint=%q} %d\n", ep, s.requests[ep].Value())
+	}
+	fmt.Fprintf(&b, "served_shed_total %d\n", s.shedded.Value())
+	fmt.Fprintf(&b, "served_timeout_total %d\n", s.timeouts.Value())
+	fmt.Fprintf(&b, "served_queue_depth %d\n", s.sched.QueueLen())
+	fmt.Fprintf(&b, "served_batches_total %d\n", s.sched.Batches.Value())
+
+	h := s.sched.BatchSizes.Snapshot()
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(&b, "served_batch_size_bucket{le=%q} %d\n", fmt.Sprint(bound), cum)
+	}
+	fmt.Fprintf(&b, "served_batch_size_bucket{le=\"+Inf\"} %d\n", cum+h.Inf)
+	fmt.Fprintf(&b, "served_batch_size_sum %d\n", h.Sum)
+	fmt.Fprintf(&b, "served_batch_size_count %d\n", h.Count)
+
+	for _, lw := range []struct {
+		ep string
+		w  *metrics.Window
+	}{{"classify", s.latClassify}, {"distinguish", s.latDisting}} {
+		qs, n := lw.w.Quantiles(now, 0.5, 0.99)
+		fmt.Fprintf(&b, "served_latency_seconds{endpoint=%q,quantile=\"0.5\"} %.6f\n", lw.ep, qs[0])
+		fmt.Fprintf(&b, "served_latency_seconds{endpoint=%q,quantile=\"0.99\"} %.6f\n", lw.ep, qs[1])
+		fmt.Fprintf(&b, "served_latency_window_count{endpoint=%q} %d\n", lw.ep, n)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}

@@ -26,8 +26,10 @@ trap 'rm -f "$TMP"' EXIT
 # internal/nn: the training engine (BenchmarkFit) and kernel micro-benchmarks.
 # internal/gimli + internal/speck: the scalar and interleaved cipher
 # kernels behind the packed dataset fast path.
-go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ -run '^$' \
-    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt' \
+# internal/serve: the full HTTP classify path through the
+# micro-batching scheduler (BenchmarkServeClassify).
+go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ ./internal/serve/ -run '^$' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|ServeClassify' \
     -benchtime "$BENCHTIME" -benchmem | tee "$TMP"
 
 go run ./cmd/benchdiff -snapshot "$OUT" -date "$DATE" < "$TMP"

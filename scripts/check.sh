@@ -3,7 +3,9 @@
 # repository's concurrency lives in: the sharded dataset generation
 # (internal/core), the goroutine-parallel matrix kernels and the
 # data-parallel training engine with its byte-identity regression
-# tests (internal/nn). On top of the plain test run this script
+# tests (internal/nn), and the serving layer's micro-batching
+# scheduler plus its lock-free metrics (internal/serve,
+# internal/metrics). On top of the plain test run this script
 # executes:
 #
 #   - the internal/testkit conformance suite (KATs for all five
@@ -24,6 +26,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/nn/... ./internal/core/...
+go test -race ./internal/serve ./internal/metrics
 
 # --- Conformance suite (testkit): run uncached so KATs re-execute.
 go test -count=1 ./internal/testkit/
@@ -38,7 +41,9 @@ if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
       "./internal/bits FuzzHexRoundTrip" \
       "./internal/bits FuzzBitOps" \
       "./internal/nn FuzzLoadArbitraryBytes" \
-      "./internal/nn FuzzSaveLoadRoundTrip"; do
+      "./internal/nn FuzzSaveLoadRoundTrip" \
+      "./internal/core FuzzLoadDistinguisher" \
+      "./internal/core FuzzLoadDataset"; do
     set -- $target
     echo "fuzz smoke: $1 $2 (${FUZZ_SECONDS}s)"
     go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime "${FUZZ_SECONDS}s"
@@ -82,7 +87,9 @@ check_cover() {
   }
   echo "coverage gate: $pkg ${pct}% (floor ${floor}%)"
 }
-check_cover ./internal/core 93.0
-check_cover ./internal/nn   93.7
+check_cover ./internal/core    95.0
+check_cover ./internal/nn      93.7
+check_cover ./internal/serve   85.0
+check_cover ./internal/metrics 90.0
 
 echo "check.sh: all gates passed"
