@@ -223,6 +223,19 @@ func BenchmarkGenerateDataset(b *testing.B) {
 		}
 		b.ReportMetric(samples, "samples/op")
 	})
+	// The SPECK scenario takes the widest engine path: 256-row windows
+	// through the ×128 bitsliced kernel.
+	sp, err := core.NewSpeckScenario(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("speck-sliced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.GenerateDataset(sp, perClass, prng.New(1))
+		}
+		b.ReportMetric(samples, "samples/op")
+	})
 }
 
 // BenchmarkPredictBatch compares per-sample classification (one 1-row

@@ -41,10 +41,12 @@ type Snapshot struct {
 
 func main() {
 	var (
-		snapshot   = flag.String("snapshot", "", "parse `go test -bench` output on stdin and write this JSON snapshot")
-		date       = flag.String("date", "", "date stamp recorded in the snapshot (default: derived from the -snapshot filename)")
-		compare    = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
-		maxRegress = flag.Float64("max-regress", 0, "with -compare: exit nonzero if any benchmark's ns/op regressed more than this percentage (0 disables the gate)")
+		snapshot        = flag.String("snapshot", "", "parse `go test -bench` output on stdin and write this JSON snapshot")
+		date            = flag.String("date", "", "date stamp recorded in the snapshot (default: derived from the -snapshot filename)")
+		compare         = flag.Bool("compare", false, "compare two snapshot files: benchdiff -compare OLD.json NEW.json")
+		maxRegress      = flag.Float64("max-regress", 0, "with -compare: exit nonzero if any benchmark's ns/op regressed more than this percentage (0 disables the gate)")
+		maxAllocRegress = flag.Float64("max-alloc-regress", -1, "with -compare: exit nonzero if any benchmark's allocs/op grew more than this percentage (0 = no growth allowed, negative disables the gate)")
+		gateBytes       = flag.Bool("gate-bytes", false, "with -compare: apply -max-alloc-regress to B/op as well")
 	)
 	flag.Parse()
 	switch {
@@ -58,7 +60,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff: -compare needs exactly two snapshot files")
 			os.Exit(2)
 		}
-		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
+		gates := gateConfig{maxRegress: *maxRegress, maxAllocRegress: *maxAllocRegress, gateBytes: *gateBytes}
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), gates); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}
@@ -112,7 +115,37 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	return out, sc.Err()
 }
 
-// writeSnapshot parses stdin and writes the snapshot JSON.
+// aggregateMin folds repeated runs of the same benchmark (go test
+// -count=N emits one line per run) into a single entry: the minimum
+// ns/op — the least-noise estimate on a shared machine — paired with
+// the maximum B/op and allocs/op, so the allocation gates judge the
+// worst observed run. Order of first appearance is preserved.
+func aggregateMin(benches []Benchmark) []Benchmark {
+	idx := make(map[string]int, len(benches))
+	out := benches[:0]
+	for _, b := range benches {
+		i, ok := idx[b.Name]
+		if !ok {
+			idx[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = b.NsPerOp
+			out[i].Iterations = b.Iterations
+		}
+		if b.BytesPerOp > out[i].BytesPerOp {
+			out[i].BytesPerOp = b.BytesPerOp
+		}
+		if b.AllocsPerOp > out[i].AllocsPerOp {
+			out[i].AllocsPerOp = b.AllocsPerOp
+		}
+	}
+	return out
+}
+
+// writeSnapshot parses stdin and writes the snapshot JSON, folding
+// -count=N repeats via aggregateMin.
 func writeSnapshot(r io.Reader, path, date string) error {
 	benches, err := parseBench(r)
 	if err != nil {
@@ -121,6 +154,7 @@ func writeSnapshot(r io.Reader, path, date string) error {
 	if len(benches) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
+	benches = aggregateMin(benches)
 	if date == "" {
 		date = dateFromPath(path)
 	}
@@ -145,12 +179,35 @@ func dateFromPath(path string) string {
 	return strings.TrimPrefix(base, "BENCH_")
 }
 
-// compareFiles renders the per-benchmark drift from old to new. A
-// positive maxRegress turns the comparison into a gate: benchmarks
-// whose ns/op grew by more than that percentage are collected and
-// returned as an error after the full table prints. Benchmarks present
-// in only one snapshot never trip the gate.
-func compareFiles(w io.Writer, oldPath, newPath string, maxRegress float64) error {
+// gateConfig selects which compare gates are armed. maxRegress > 0
+// gates ns/op growth; maxAllocRegress ≥ 0 gates allocs/op growth (0
+// means any growth fails — allocation counts are deterministic, so the
+// natural gate is exact); gateBytes extends the allocation gate to
+// B/op.
+type gateConfig struct {
+	maxRegress      float64
+	maxAllocRegress float64
+	gateBytes       bool
+}
+
+// exceeds reports whether a metric moving old → new violates a
+// growth gate of limit percent. A metric appearing from zero is
+// infinite growth and always violates an armed gate.
+func exceeds(old, new, limit float64) bool {
+	if new <= old {
+		return false
+	}
+	if old == 0 {
+		return true
+	}
+	return pctDelta(old, new) > limit
+}
+
+// compareFiles renders the per-benchmark drift from old to new and
+// applies the armed gates, collecting violations into an error after
+// the full table prints. Benchmarks present in only one snapshot never
+// trip a gate.
+func compareFiles(w io.Writer, oldPath, newPath string, gates gateConfig) error {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -176,15 +233,23 @@ func compareFiles(w io.Writer, oldPath, newPath string, maxRegress float64) erro
 		delta := pctDelta(ob.NsPerOp, nb.NsPerOp)
 		fmt.Fprintf(w, "%-52s  %14.0f  %14.0f  %+7.1f%%  %5.0f→%.0f\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp)
-		if maxRegress > 0 && delta > maxRegress {
-			regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", nb.Name, delta))
+		if gates.maxRegress > 0 && delta > gates.maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s (ns/op +%.1f%%)", nb.Name, delta))
+		}
+		if gates.maxAllocRegress >= 0 {
+			if exceeds(ob.AllocsPerOp, nb.AllocsPerOp, gates.maxAllocRegress) {
+				regressed = append(regressed, fmt.Sprintf("%s (allocs/op %.0f→%.0f)", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
+			}
+			if gates.gateBytes && exceeds(ob.BytesPerOp, nb.BytesPerOp, gates.maxAllocRegress) {
+				regressed = append(regressed, fmt.Sprintf("%s (B/op %.0f→%.0f)", nb.Name, ob.BytesPerOp, nb.BytesPerOp))
+			}
 		}
 	}
 	for name := range prev {
 		fmt.Fprintf(w, "%-52s  (removed)\n", name)
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("ns/op regressed past the %.1f%% gate: %s", maxRegress, strings.Join(regressed, ", "))
+		return fmt.Errorf("regressed past the gates: %s", strings.Join(regressed, ", "))
 	}
 	return nil
 }

@@ -68,7 +68,7 @@ func TestSnapshotAndCompareRoundTrip(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if err := compareFiles(&sb, oldPath, newPath, 0); err != nil {
+	if err := compareFiles(&sb, oldPath, newPath, gateConfig{maxAllocRegress: -1}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -82,12 +82,73 @@ func TestSnapshotAndCompareRoundTrip(t *testing.T) {
 	// -50% improvement reads as a +100% regression, so a 50% threshold
 	// must fail and name the offending benchmark, while a generous one
 	// must pass. The (new)/(removed) rows never trip the gate.
-	err = compareFiles(&sb, newPath, oldPath, 50)
+	err = compareFiles(&sb, newPath, oldPath, gateConfig{maxRegress: 50, maxAllocRegress: -1})
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkFit/workers=1-8") {
 		t.Fatalf("gate at 50%% should fail naming the regressed benchmark, got %v", err)
 	}
-	if err := compareFiles(&sb, newPath, oldPath, 150); err != nil {
+	if err := compareFiles(&sb, newPath, oldPath, gateConfig{maxRegress: 150, maxAllocRegress: -1}); err != nil {
 		t.Fatalf("gate at 150%% should pass, got %v", err)
+	}
+}
+
+// TestAllocGate: the allocation gate fails on any allocs/op growth at
+// threshold 0, treats growth from zero as infinite, ignores
+// improvements, and extends to B/op only with gateBytes.
+func TestAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_20260101.json")
+	newPath := filepath.Join(dir, "BENCH_20260102.json")
+	if err := writeSnapshot(strings.NewReader(sample), oldPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	// workers=1: allocs 5 → 6; MatMul: B/op 0 → appears (no -benchmem
+	// fields on the old line means 0).
+	leaky := strings.ReplaceAll(sample, "       5 allocs/op", "       6 allocs/op")
+	leaky = strings.ReplaceAll(leaky, "    123456 ns/op", "    123456 ns/op	      32 B/op	       0 allocs/op")
+	if err := writeSnapshot(strings.NewReader(leaky), newPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := compareFiles(&sb, oldPath, newPath, gateConfig{maxAllocRegress: 0})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op 5→6") {
+		t.Fatalf("alloc gate should fail naming workers=1, got %v", err)
+	}
+	if strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("B/op gated without gateBytes: %v", err)
+	}
+	// 20% headroom tolerates the 5→6 alloc, but gateBytes catches the
+	// 0→32 B/op jump as infinite growth.
+	if err := compareFiles(&sb, oldPath, newPath, gateConfig{maxAllocRegress: 20}); err != nil {
+		t.Fatalf("alloc gate at 20%% should tolerate 5→6, got %v", err)
+	}
+	err = compareFiles(&sb, oldPath, newPath, gateConfig{maxAllocRegress: 20, gateBytes: true})
+	if err == nil || !strings.Contains(err.Error(), "B/op 0→32") {
+		t.Fatalf("gateBytes should fail on 0→32 B/op, got %v", err)
+	}
+	// The reverse direction only shrinks allocations, which never gates.
+	if err := compareFiles(&sb, newPath, oldPath, gateConfig{maxAllocRegress: 0}); err != nil {
+		t.Fatalf("improvement direction should pass the alloc gate, got %v", err)
+	}
+}
+
+// TestAggregateMin: -count=N repeats fold to the min ns/op and the max
+// B/op and allocs/op.
+func TestAggregateMin(t *testing.T) {
+	repeated := sample +
+		"BenchmarkFit/workers=1-8         	      22	  51000000 ns/op	    9000 B/op	       4 allocs/op\n" +
+		"BenchmarkFit/workers=1-8         	      21	  59000000 ns/op	    8000 B/op	       7 allocs/op\n"
+	bs, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := aggregateMin(bs)
+	if len(agg) != 3 {
+		t.Fatalf("aggregated to %d benchmarks, want 3", len(agg))
+	}
+	b := agg[0]
+	if b.Name != "BenchmarkFit/workers=1-8" || b.NsPerOp != 51000000 || b.Iterations != 22 ||
+		b.BytesPerOp != 9000 || b.AllocsPerOp != 7 {
+		t.Fatalf("aggregated benchmark %+v", b)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package bits
+
+// HasAVX2 reports whether the running CPU and OS support AVX2; always
+// false off amd64, steering the kernels to their portable scalar paths.
+func HasAVX2() bool { return false }

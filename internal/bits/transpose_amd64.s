@@ -1,0 +1,153 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 butterfly stages for the 64×64 bit-matrix transpose. Each stage
+// is the same recursive block swap transpose.go implements in scalar
+// code — at block size w, exchange the off-diagonal w×w quadrants —
+// with four matrix words per YMM operation. Stages w=16..4 pair words
+// at distance ≥4, so both butterfly operands are whole YMM loads;
+// stages w=2 and w=1 pair words inside one YMM, so the partner word
+// comes from a VPERMQ lane swap and the t-value is confined to the
+// surviving lanes by folding the lane-keep mask into the bit mask.
+
+DATA tmask32<>+0x00(SB)/8, $0x00000000ffffffff
+DATA tmask32<>+0x08(SB)/8, $0x00000000ffffffff
+DATA tmask32<>+0x10(SB)/8, $0x00000000ffffffff
+DATA tmask32<>+0x18(SB)/8, $0x00000000ffffffff
+GLOBL tmask32<>(SB), RODATA|NOPTR, $32
+
+DATA tmask16<>+0x00(SB)/8, $0x0000ffff0000ffff
+DATA tmask16<>+0x08(SB)/8, $0x0000ffff0000ffff
+DATA tmask16<>+0x10(SB)/8, $0x0000ffff0000ffff
+DATA tmask16<>+0x18(SB)/8, $0x0000ffff0000ffff
+GLOBL tmask16<>(SB), RODATA|NOPTR, $32
+
+DATA tmask8<>+0x00(SB)/8, $0x00ff00ff00ff00ff
+DATA tmask8<>+0x08(SB)/8, $0x00ff00ff00ff00ff
+DATA tmask8<>+0x10(SB)/8, $0x00ff00ff00ff00ff
+DATA tmask8<>+0x18(SB)/8, $0x00ff00ff00ff00ff
+GLOBL tmask8<>(SB), RODATA|NOPTR, $32
+
+DATA tmask4<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA tmask4<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA tmask4<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA tmask4<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL tmask4<>(SB), RODATA|NOPTR, $32
+
+// w=2: butterfly partners are lanes (0,2) and (1,3); t lives in lanes
+// 0,1 only, so the bit mask is zeroed in lanes 2,3.
+DATA tmask2lo<>+0x00(SB)/8, $0x3333333333333333
+DATA tmask2lo<>+0x08(SB)/8, $0x3333333333333333
+DATA tmask2lo<>+0x10(SB)/8, $0x0000000000000000
+DATA tmask2lo<>+0x18(SB)/8, $0x0000000000000000
+GLOBL tmask2lo<>(SB), RODATA|NOPTR, $32
+
+// w=1: partners are lanes (0,1) and (2,3); t lives in lanes 0,2.
+DATA tmask1ev<>+0x00(SB)/8, $0x5555555555555555
+DATA tmask1ev<>+0x08(SB)/8, $0x0000000000000000
+DATA tmask1ev<>+0x10(SB)/8, $0x5555555555555555
+DATA tmask1ev<>+0x18(SB)/8, $0x0000000000000000
+GLOBL tmask1ev<>(SB), RODATA|NOPTR, $32
+
+// Whole-YMM butterfly: words at DI+off and DI+off+dist, bit shift w,
+// mask in mreg.
+#define BUTTERFLY(off, dist, w, mreg) \
+	VMOVDQU off(DI), Y0                \
+	VMOVDQU (off+dist)(DI), Y1         \
+	VPSRLQ  $w, Y0, Y2                 \
+	VPXOR   Y1, Y2, Y2                 \
+	VPAND   mreg, Y2, Y2               \
+	VPSLLQ  $w, Y2, Y3                 \
+	VPXOR   Y3, Y0, Y0                 \
+	VPXOR   Y2, Y1, Y1                 \
+	VMOVDQU Y0, off(DI)                \
+	VMOVDQU Y1, (off+dist)(DI)
+
+// In-YMM butterfly: partner lanes via VPERMQ perm, bit shift w,
+// lane-confined mask in mreg.
+#define BUTTERFLY_IN(off, perm, w, mreg) \
+	VMOVDQU off(DI), Y0                   \
+	VPERMQ  $perm, Y0, Y1                 \
+	VPSRLQ  $w, Y0, Y2                    \
+	VPXOR   Y1, Y2, Y2                    \
+	VPAND   mreg, Y2, Y2                  \
+	VPSLLQ  $w, Y2, Y3                    \
+	VPXOR   Y3, Y0, Y0                    \
+	VPERMQ  $perm, Y2, Y3                 \
+	VPXOR   Y3, Y0, Y0                    \
+	VMOVDQU Y0, off(DI)
+
+// stages16to1avx runs the w=16 … w=1 stages over the 32 words at DI.
+// Masks preloaded by the caller: Y15=tmask16 Y14=tmask8 Y13=tmask4
+// Y12=tmask2lo Y11=tmask1ev. Clobbers Y0-Y3, preserves DI.
+TEXT stages16to1avx<>(SB), NOSPLIT, $0-0
+	// w=16: pairs (k, k+16), k = 0..15
+	BUTTERFLY(0, 128, 16, Y15)
+	BUTTERFLY(32, 128, 16, Y15)
+	BUTTERFLY(64, 128, 16, Y15)
+	BUTTERFLY(96, 128, 16, Y15)
+	// w=8: pairs (k, k+8), k in {0..7, 16..23}
+	BUTTERFLY(0, 64, 8, Y14)
+	BUTTERFLY(32, 64, 8, Y14)
+	BUTTERFLY(128, 64, 8, Y14)
+	BUTTERFLY(160, 64, 8, Y14)
+	// w=4: pairs (k, k+4), k in {0..3, 8..11, 16..19, 24..27}
+	BUTTERFLY(0, 32, 4, Y13)
+	BUTTERFLY(64, 32, 4, Y13)
+	BUTTERFLY(128, 32, 4, Y13)
+	BUTTERFLY(192, 32, 4, Y13)
+	// w=2: pairs (k, k+2) inside each YMM; 0x4E = lanes [2,3,0,1]
+	BUTTERFLY_IN(0, 0x4e, 2, Y12)
+	BUTTERFLY_IN(32, 0x4e, 2, Y12)
+	BUTTERFLY_IN(64, 0x4e, 2, Y12)
+	BUTTERFLY_IN(96, 0x4e, 2, Y12)
+	BUTTERFLY_IN(128, 0x4e, 2, Y12)
+	BUTTERFLY_IN(160, 0x4e, 2, Y12)
+	BUTTERFLY_IN(192, 0x4e, 2, Y12)
+	BUTTERFLY_IN(224, 0x4e, 2, Y12)
+	// w=1: pairs (k, k+1) inside each YMM; 0xB1 = lanes [1,0,3,2]
+	BUTTERFLY_IN(0, 0xb1, 1, Y11)
+	BUTTERFLY_IN(32, 0xb1, 1, Y11)
+	BUTTERFLY_IN(64, 0xb1, 1, Y11)
+	BUTTERFLY_IN(96, 0xb1, 1, Y11)
+	BUTTERFLY_IN(128, 0xb1, 1, Y11)
+	BUTTERFLY_IN(160, 0xb1, 1, Y11)
+	BUTTERFLY_IN(192, 0xb1, 1, Y11)
+	BUTTERFLY_IN(224, 0xb1, 1, Y11)
+	RET
+
+#define LOADMASKS \
+	VMOVDQU tmask16<>(SB), Y15 \
+	VMOVDQU tmask8<>(SB), Y14  \
+	VMOVDQU tmask4<>(SB), Y13  \
+	VMOVDQU tmask2lo<>(SB), Y12 \
+	VMOVDQU tmask1ev<>(SB), Y11
+
+// func transposeStagesAVX2(m *[32]uint64)
+TEXT ·transposeStagesAVX2(SB), NOSPLIT, $0-8
+	MOVQ m+0(FP), DI
+	LOADMASKS
+	CALL stages16to1avx<>(SB)
+	VZEROUPPER
+	RET
+
+// func transpose64AVX2(m *[64]uint64)
+TEXT ·transpose64AVX2(SB), NOSPLIT, $0-8
+	MOVQ m+0(FP), DI
+	LOADMASKS
+	VMOVDQU tmask32<>(SB), Y10
+	// w=32: pairs (k, k+32), k = 0..31
+	BUTTERFLY(0, 256, 32, Y10)
+	BUTTERFLY(32, 256, 32, Y10)
+	BUTTERFLY(64, 256, 32, Y10)
+	BUTTERFLY(96, 256, 32, Y10)
+	BUTTERFLY(128, 256, 32, Y10)
+	BUTTERFLY(160, 256, 32, Y10)
+	BUTTERFLY(192, 256, 32, Y10)
+	BUTTERFLY(224, 256, 32, Y10)
+	CALL stages16to1avx<>(SB)
+	ADDQ $256, DI
+	CALL stages16to1avx<>(SB)
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package bits
+
+func transpose64(m *[64]uint64) { transpose64Scalar(m) }
+
+func transposeStages(m *[32]uint64) { transposeStages16to1(m) }

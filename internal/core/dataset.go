@@ -136,29 +136,49 @@ func GenerateDatasetParallel(s Scenario, perClass int, r *prng.Rand, workers int
 	d := newDataset(n, s.FeatureLen())
 	bs, _ := s.(BatchScenario)
 	ps, _ := s.(PairScenario)
-	// fill generates rows [lo, hi). Each row reseeds the worker
-	// generator to its positional substream, so the pair path (two rows
-	// per kernel call, two generators) consumes exactly the same draws
-	// per row as the scalar paths and shard boundaries cannot shift any
-	// stream. In the BatchScenario steady state this loop does not
-	// allocate: rows are packed into the preallocated backing store.
-	fill := func(lo, hi int, rw, rw2 *prng.Rand) {
+	qs, _ := s.(QuadScenario)
+	ss, _ := s.(SliceScenario)
+	// fill generates rows [lo, hi), widest fast path first: bitsliced
+	// slice windows, then quads, then pairs, then single rows. Each row
+	// is drawn from its positional substream — the narrow paths reseed
+	// the worker generators per row, the slice path derives substreams
+	// itself — so every path consumes exactly the same draws per row and
+	// shard boundaries cannot shift any stream. In the BatchScenario
+	// steady state this loop does not allocate: rows are packed into the
+	// preallocated backing store.
+	fill := func(lo, hi int, rs *[4]prng.Rand) {
 		j := lo
+		if ss != nil {
+			w := ss.SliceRows()
+			for ; j+w <= hi; j += w {
+				ss.SampleSlice(&rs[0], base, j, d.bits[j*d.words:(j+w)*d.words], d.Y[j:j+w])
+			}
+		}
+		if qs != nil {
+			for ; j+3 < hi; j += 4 {
+				for k := 0; k < 4; k++ {
+					rs[k].SeedStream(base, uint64(j+k))
+				}
+				qs.SampleQuad(rs, [4]int{j % t, (j + 1) % t, (j + 2) % t, (j + 3) % t},
+					[4][]uint64{d.Packed(j), d.Packed(j + 1), d.Packed(j + 2), d.Packed(j + 3)})
+				d.Y[j], d.Y[j+1], d.Y[j+2], d.Y[j+3] = j%t, (j+1)%t, (j+2)%t, (j+3)%t
+			}
+		}
 		if ps != nil {
 			for ; j+1 < hi; j += 2 {
-				rw.SeedStream(base, uint64(j))
-				rw2.SeedStream(base, uint64(j+1))
-				ps.SamplePair(rw, rw2, j%t, (j+1)%t, d.Packed(j), d.Packed(j+1))
+				rs[0].SeedStream(base, uint64(j))
+				rs[1].SeedStream(base, uint64(j+1))
+				ps.SamplePair(&rs[0], &rs[1], j%t, (j+1)%t, d.Packed(j), d.Packed(j+1))
 				d.Y[j], d.Y[j+1] = j%t, (j+1)%t
 			}
 		}
 		for ; j < hi; j++ {
-			rw.SeedStream(base, uint64(j))
+			rs[0].SeedStream(base, uint64(j))
 			c := j % t
 			if bs != nil {
-				bs.SampleBatch(rw, c, d.Packed(j))
+				bs.SampleBatch(&rs[0], c, d.Packed(j))
 			} else {
-				bits.PackFloats(d.Packed(j), s.Sample(rw, c))
+				bits.PackFloats(d.Packed(j), s.Sample(&rs[0], c))
 			}
 			d.Y[j] = c
 		}
@@ -166,11 +186,18 @@ func GenerateDatasetParallel(s Scenario, perClass int, r *prng.Rand, workers int
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Extra goroutines beyond the schedulable parallelism only add
+	// scheduling overhead (sampling never blocks), and the determinism
+	// contract makes worker count invisible in the output — so clamp,
+	// and run the single-worker case inline with no goroutine at all.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n == 0 {
-		fill(0, n, &prng.Rand{}, &prng.Rand{})
+		fill(0, n, &[4]prng.Rand{})
 		return d
 	}
 	var wg sync.WaitGroup
@@ -183,7 +210,7 @@ func GenerateDatasetParallel(s Scenario, perClass int, r *prng.Rand, workers int
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			fill(lo, hi, &prng.Rand{}, &prng.Rand{})
+			fill(lo, hi, &[4]prng.Rand{})
 		}(lo, hi)
 	}
 	wg.Wait()

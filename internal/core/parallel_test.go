@@ -2,11 +2,22 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/prng"
 )
+
+// withParallelism raises GOMAXPROCS for the duration of a test so that
+// multi-worker paths genuinely fan out across goroutines even on
+// single-CPU hosts, where GenerateDatasetParallel's worker clamp would
+// otherwise collapse every worker count to the inline serial path.
+func withParallelism(t *testing.T, p int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(p)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // datasetsEqual reports whether two datasets are byte-identical, down
 // to the packed backing store.
@@ -33,6 +44,7 @@ func datasetsEqual(a, b *Dataset) bool {
 // GenerateDatasetParallel at 1, 4 and 7 workers must produce (X, Y)
 // identical to the serial GenerateDataset from the same seed.
 func TestGenerateDatasetParallelDeterminism(t *testing.T) {
+	withParallelism(t, 8)
 	gimli, err := NewGimliCipherScenario(6)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +65,54 @@ func TestGenerateDatasetParallelDeterminism(t *testing.T) {
 			got := GenerateDatasetParallel(s, perClass, prng.New(33), workers)
 			if !datasetsEqual(got, want) {
 				t.Errorf("%s: %d-worker dataset differs from serial", s.Name(), workers)
+			}
+		}
+	}
+}
+
+// batchOnly hides every interface of the wrapped scenario except
+// BatchScenario, forcing the engine down the one-row-at-a-time path.
+type batchOnly struct{ BatchScenario }
+
+// pairOnly additionally exposes SamplePair but hides SampleQuad.
+type pairOnly struct{ PairScenario }
+
+// TestGenerateDatasetFastPathIdentity: the engine's wide fast paths —
+// the 256-row bitsliced SPECK windows and the 4-row GIMLI quads — must
+// produce datasets byte-identical to the narrow per-row path, at every
+// worker count. perClass is ≥ 128 so the slice path really runs, and
+// odd so shard boundaries cut windows into remainders.
+func TestGenerateDatasetFastPathIdentity(t *testing.T) {
+	withParallelism(t, 8)
+	speck, err := NewSpeckScenario(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := NewGimliHashScenario(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher, err := NewGimliCipherScenario(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		wide   Scenario
+		narrow Scenario
+	}{
+		{"speck-slice-vs-batch", speck, batchOnly{speck}},
+		{"gimli-hash-quad-vs-pair", hash, pairOnly{hash}},
+		{"gimli-hash-quad-vs-batch", hash, batchOnly{hash}},
+		{"gimli-cipher-quad-vs-pair", cipher, pairOnly{cipher}},
+	}
+	const perClass = 131 // 262 rows: one full slice window plus remainder
+	for _, c := range cases {
+		want := GenerateDataset(c.narrow, perClass, prng.New(77))
+		for _, workers := range []int{1, 4, 7} {
+			got := GenerateDatasetParallel(c.wide, perClass, prng.New(77), workers)
+			if !datasetsEqual(got, want) {
+				t.Errorf("%s: %d-worker wide-path dataset differs from narrow path", c.name, workers)
 			}
 		}
 	}

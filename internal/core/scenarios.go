@@ -133,6 +133,20 @@ func (s *GimliHashScenario) SamplePair(r0, r1 *prng.Rand, class0, class1 int, ds
 	packRateDiff(&a1, &b1, dst1)
 }
 
+// SampleQuad generates four samples — eight independent states — in
+// one ×8-interleaved permutation pass.
+func (s *GimliHashScenario) SampleQuad(r *[4]prng.Rand, class [4]int, dst [4][]uint64) {
+	var st [8]gimli.State
+	for k := 0; k < 4; k++ {
+		s.statePair(&r[k], class[k], &st[2*k], &st[2*k+1])
+	}
+	ptrs := [8]*gimli.State{&st[0], &st[1], &st[2], &st[3], &st[4], &st[5], &st[6], &st[7]}
+	gimli.PermuteRounds8(&ptrs, s.Rounds)
+	for k := 0; k < 4; k++ {
+		packRateDiff(&st[2*k], &st[2*k+1], dst[k])
+	}
+}
+
 // GimliCipherScenario is the Section 4 GIMLI-CIPHER experiment in the
 // nonce-respecting setting: per sample, a fresh random 256-bit key and
 // a random nonce pair differing by δ_class are run through the
@@ -236,6 +250,20 @@ func (s *GimliCipherScenario) SamplePair(r0, r1 *prng.Rand, class0, class1 int, 
 	packRateDiff(&a1, &b1, dst1)
 }
 
+// SampleQuad generates four samples — eight independent states — in
+// one ×8-interleaved permutation pass.
+func (s *GimliCipherScenario) SampleQuad(r *[4]prng.Rand, class [4]int, dst [4][]uint64) {
+	var st [8]gimli.State
+	for k := 0; k < 4; k++ {
+		s.statePair(&r[k], class[k], &st[2*k], &st[2*k+1])
+	}
+	ptrs := [8]*gimli.State{&st[0], &st[1], &st[2], &st[3], &st[4], &st[5], &st[6], &st[7]}
+	gimli.PermuteRounds8(&ptrs, s.Rounds)
+	for k := 0; k < 4; k++ {
+		packRateDiff(&st[2*k], &st[2*k+1], dst[k])
+	}
+}
+
 // SpeckScenario is the Gohr-style baseline of Section 2.3 transplanted
 // into this framework: class 1 samples are true round-reduced
 // SPECK-32/64 output differences under the input difference Delta with
@@ -303,11 +331,48 @@ func (s *SpeckScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 	dst[0] = uint64(d.X) | uint64(d.Y)<<16
 }
 
+// SliceRows returns the bitsliced window: 128 encryption lanes, and at
+// t = 2 every other row is a cheap random sample, so one window is 256
+// rows.
+func (s *SpeckScenario) SliceRows() int { return 2 * speck.SlicedLanes }
+
+// SampleSlice fills one 256-row window through the ×128 bitsliced
+// differential kernel. Row j draws from its positional substream
+// exactly as SampleBatch would — class 0 one word, class 1 six 16-bit
+// words, packed into kernel lane rows as they are drawn — then all 128
+// class-1 encryptions run in one EncryptDiffSliced128 call. A SPECK
+// row is one packed word, so dst is indexed by row.
+func (s *SpeckScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	var keyRows [speck.SlicedLanes]uint64
+	var ptRows [speck.SlicedLanes]uint32
+	var laneRow [speck.SlicedLanes]int
+	lanes := 0
+	for i := 0; i < 2*speck.SlicedLanes; i++ {
+		j := firstRow + i
+		c := j % 2
+		y[i] = c
+		rw.SeedStream(base, uint64(j))
+		if c == 0 {
+			dst[i] = rw.Uint64() & 0xffffffff
+			continue
+		}
+		keyRows[lanes] = speck.PackKeyRow(rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16())
+		ptRows[lanes] = speck.PackBlockRow(speck.Block{X: rw.Uint16(), Y: rw.Uint16()})
+		laneRow[lanes] = i
+		lanes++
+	}
+	var out [speck.SlicedLanes]uint32
+	speck.EncryptDiffSliced128(&keyRows, &ptRows, s.Delta, s.Rounds, &out)
+	for l := 0; l < lanes; l++ {
+		dst[laneRow[l]] = uint64(out[l])
+	}
+}
+
 // Compile-time checks that the packed fast paths stay wired up.
 var (
-	_ PairScenario  = (*GimliHashScenario)(nil)
-	_ PairScenario  = (*GimliCipherScenario)(nil)
-	_ BatchScenario = (*SpeckScenario)(nil)
+	_ QuadScenario  = (*GimliHashScenario)(nil)
+	_ QuadScenario  = (*GimliCipherScenario)(nil)
+	_ SliceScenario = (*SpeckScenario)(nil)
 )
 
 // FuncScenario adapts an arbitrary fixed-input-length function to a

@@ -47,6 +47,10 @@ type Cipher64 struct {
 	rk [Rounds64]uint32
 	// rc[i] is round i's 6-bit constant.
 	rc [Rounds64]byte
+	// rkm[i] is round i's whole AddRoundKey XOR mask — key bits, round
+	// constant and the fixed bit 63 spread to their state positions at
+	// expansion time, so the round function XORs one word.
+	rkm [Rounds64]uint64
 }
 
 // NewCipher64 expands a 128-bit key given as 8 sixteen-bit words
@@ -54,6 +58,15 @@ type Cipher64 struct {
 // design document's notation).
 func NewCipher64(key [8]uint16) *Cipher64 {
 	c := &Cipher64{}
+	c.Expand(key)
+	return c
+}
+
+// Expand recomputes the key schedule in place. It exists so sampling
+// loops can re-key one stack-allocated Cipher64 per sample instead of
+// heap-allocating a fresh instance — the same zero-allocation pattern
+// as speck.Cipher.Expand.
+func (c *Cipher64) Expand(key [8]uint16) {
 	k := key
 	state6 := byte(0)
 	for r := 0; r < Rounds64; r++ {
@@ -70,8 +83,15 @@ func NewCipher64(key [8]uint16) *Cipher64 {
 		// Round constant LFSR: (c5..c0) ← (c4..c0, c5⊕c4⊕1).
 		state6 = (state6<<1 | (state6>>5^state6>>4^1)&1) & 0x3f
 		c.rc[r] = state6
+		m := uint64(1) << 63
+		for i := 0; i < 16; i++ {
+			m |= uint64(u>>i&1)<<(4*i+1) | uint64(v>>i&1)<<(4*i)
+		}
+		for j := 0; j < 6; j++ {
+			m |= uint64(state6>>j&1) << (4*j + 3)
+		}
+		c.rkm[r] = m
 	}
-	return c
 }
 
 // NewCipher64FromBytes expands a 16-byte key laid out big-endian
@@ -93,28 +113,71 @@ func (c *Cipher64) RoundKey(r int) uint32 { return c.rk[r] }
 // RoundConstant returns round r's 6-bit constant.
 func (c *Cipher64) RoundConstant(r int) byte { return c.rc[r] }
 
-// subCells64 applies the S-box to all 16 nibbles.
-func subCells64(s uint64, box [16]byte) uint64 {
-	var out uint64
-	for n := 0; n < 16; n++ {
-		out |= uint64(box[s>>(4*n)&0xf]) << (4 * n)
+// sboxPair precomputes an S-box applied to both nibbles of a byte, so
+// SubCells costs 8 table lookups per state instead of 16.
+func sboxPair(box [16]byte) (t [256]byte) {
+	for v := range t {
+		t[v] = box[v&0xf] | box[v>>4]<<4
 	}
-	return out
+	return
 }
 
-// permBits64 applies the bit permutation (forward or inverse).
-func permBits64(s uint64, inverse bool) uint64 {
-	var out uint64
-	for i := 0; i < 64; i++ {
-		if s>>i&1 == 1 {
-			if inverse {
-				out |= 1 << invPerm64Table[i]
-			} else {
-				out |= 1 << Perm64Table[i]
+var (
+	sboxPairEnc = sboxPair(SBox)
+	sboxPairInv = sboxPair(SBoxInv)
+)
+
+// subCells64 applies the paired S-box table to all 8 state bytes.
+func subCells64(s uint64, box *[256]byte) uint64 {
+	return uint64(box[s&0xff]) |
+		uint64(box[s>>8&0xff])<<8 |
+		uint64(box[s>>16&0xff])<<16 |
+		uint64(box[s>>24&0xff])<<24 |
+		uint64(box[s>>32&0xff])<<32 |
+		uint64(box[s>>40&0xff])<<40 |
+		uint64(box[s>>48&0xff])<<48 |
+		uint64(box[s>>56])<<56
+}
+
+// permByteTables[b][v] is the permuted image of byte b of the state
+// holding value v, so PermBits is 8 lookups and 7 ORs instead of a
+// 64-iteration bit loop. One direction's tables are 16 KiB; both
+// fit in L1 alongside the S-box pairs.
+func permByteTables(p *[64]int) (t [8][256]uint64) {
+	for b := 0; b < 8; b++ {
+		for v := 0; v < 256; v++ {
+			var out uint64
+			for j := 0; j < 8; j++ {
+				if v>>j&1 == 1 {
+					out |= 1 << p[8*b+j]
+				}
 			}
+			t[b][v] = out
 		}
 	}
-	return out
+	return
+}
+
+var (
+	permBytesFwd = permByteTables(&Perm64Table)
+	permBytesInv = permByteTables(&invPerm64Table)
+)
+
+// permBits64 applies the bit permutation (forward or inverse) via the
+// per-byte contribution tables.
+func permBits64(s uint64, inverse bool) uint64 {
+	t := &permBytesFwd
+	if inverse {
+		t = &permBytesInv
+	}
+	return t[0][s&0xff] |
+		t[1][s>>8&0xff] |
+		t[2][s>>16&0xff] |
+		t[3][s>>24&0xff] |
+		t[4][s>>32&0xff] |
+		t[5][s>>40&0xff] |
+		t[6][s>>48&0xff] |
+		t[7][s>>56]
 }
 
 var invPerm64Table = buildInvPerm64()
@@ -129,20 +192,10 @@ func buildInvPerm64() [64]int {
 
 // addRoundKey64 XORs the round key and constant into the state:
 // U into bits 4i+1, V into bits 4i, the constant bits into positions
-// 3, 7, 11, 15, 19, 23, and a fixed 1 into bit 63.
+// 3, 7, 11, 15, 19, 23, and a fixed 1 into bit 63 — all spread into
+// rkm at expansion time.
 func (c *Cipher64) addRoundKey64(s uint64, r int) uint64 {
-	u := uint16(c.rk[r] >> 16)
-	v := uint16(c.rk[r])
-	for i := 0; i < 16; i++ {
-		s ^= uint64(u>>i&1) << (4*i + 1)
-		s ^= uint64(v>>i&1) << (4 * i)
-	}
-	rc := c.rc[r]
-	for j := 0; j < 6; j++ {
-		s ^= uint64(rc>>j&1) << (4*j + 3)
-	}
-	s ^= 1 << 63
-	return s
+	return s ^ c.rkm[r]
 }
 
 // EncryptRounds applies the first n rounds of GIFT-64. n must be in
@@ -152,7 +205,7 @@ func (c *Cipher64) EncryptRounds(s uint64, n int) uint64 {
 		panic(fmt.Sprintf("gift: invalid GIFT-64 round count %d", n))
 	}
 	for r := 0; r < n; r++ {
-		s = subCells64(s, SBox)
+		s = subCells64(s, &sboxPairEnc)
 		s = permBits64(s, false)
 		s = c.addRoundKey64(s, r)
 	}
@@ -167,7 +220,7 @@ func (c *Cipher64) DecryptRounds(s uint64, n int) uint64 {
 	for r := n - 1; r >= 0; r-- {
 		s = c.addRoundKey64(s, r) // the key addition is an involution
 		s = permBits64(s, true)
-		s = subCells64(s, SBoxInv)
+		s = subCells64(s, &sboxPairInv)
 	}
 	return s
 }

@@ -1,0 +1,144 @@
+//go:build amd64
+
+package nn
+
+import "repro/internal/bits"
+
+// useMulAVX2 gates the AVX2 matrix micro-kernels. It is a variable so
+// tests can force the scalar path and compare bit for bit.
+var useMulAVX2 = bits.HasAVX2()
+
+//go:noescape
+func dotNT4x4AVX2(a0, a1, b0, b1 *float64, k4 int, s *[4][4]float64)
+
+//go:noescape
+func axpy2AVX2(o, b0, b1 *float64, a0, a1 float64, m4 int)
+
+//go:noescape
+func axpy1AVX2(o, b0 *float64, a0 float64, m4 int)
+
+// mulNTRangeAccel computes rows [lo, hi) of A·Bᵀ with the 2×2
+// register-tiled AVX2 dot kernel. Each output element's value is
+// assembled exactly as the scalar path's: four stride-4 partials
+// (the kernel's vector lanes) combined left to right, then the
+// sequential scalar tail — so the result is bit-identical and worker
+// partitions stay invisible. Odd trailing rows/columns of a tile fall
+// back to the scalar per-element dot, which is the same arithmetic.
+func mulNTRangeAccel(out, a, b *Matrix, lo, hi int) bool {
+	if !useMulAVX2 {
+		return false
+	}
+	k := a.Cols
+	k4 := k &^ 3
+	var s [4][4]float64
+	for jb := 0; jb < b.Rows; jb += mulJBlock {
+		je := jb + mulJBlock
+		if je > b.Rows {
+			je = b.Rows
+		}
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			a0 := a.Data[i*k : (i+1)*k]
+			a1 := a.Data[(i+1)*k : (i+2)*k]
+			o0 := out.Data[i*out.Cols : (i+1)*out.Cols]
+			o1 := out.Data[(i+1)*out.Cols : (i+2)*out.Cols]
+			j := jb
+			for ; j+1 < je; j += 2 {
+				b0 := b.Data[j*k : (j+1)*k]
+				b1 := b.Data[(j+1)*k : (j+2)*k]
+				if k4 > 0 {
+					dotNT4x4AVX2(&a0[0], &a1[0], &b0[0], &b1[0], k4, &s)
+				} else {
+					s = [4][4]float64{}
+				}
+				o0[j] = finishDotNT(a0, b0, &s[0], k4)
+				o0[j+1] = finishDotNT(a0, b1, &s[1], k4)
+				o1[j] = finishDotNT(a1, b0, &s[2], k4)
+				o1[j+1] = finishDotNT(a1, b1, &s[3], k4)
+			}
+			for ; j < je; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				o0[j] = dotNT(a0, brow)
+				o1[j] = dotNT(a1, brow)
+			}
+		}
+		if i < hi {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j := jb; j < je; j++ {
+				orow[j] = dotNT(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	}
+	return true
+}
+
+// finishDotNT folds the kernel's four stride-4 partials and the scalar
+// tail into the final dot product, in the scalar path's exact order.
+func finishDotNT(arow, brow []float64, s *[4]float64, k4 int) float64 {
+	v := s[0] + s[1] + s[2] + s[3]
+	for p := k4; p < len(arow); p++ {
+		v += arow[p] * brow[p]
+	}
+	return v
+}
+
+// mulRangeAccel accumulates rows [lo, hi) of A·B with the vector axpy
+// kernels: nonzero A entries of each k-block are taken in ascending
+// order and applied in pairs, so every output element sees the same
+// addition chain as the scalar zero-skip kernel — one rounding per
+// nonzero k, ascending — while halving the output-row load/store
+// traffic. The last ragged columns (m mod 4) run the same pairing in
+// scalar code.
+func mulRangeAccel(out, a, b *Matrix, lo, hi int) bool {
+	if !useMulAVX2 {
+		return false
+	}
+	m := b.Cols
+	m4 := m &^ 3
+	for kb := 0; kb < a.Cols; kb += mulKBlock {
+		ke := kb + mulKBlock
+		if ke > a.Cols {
+			ke = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols+kb : i*a.Cols+ke]
+			orow := out.Data[i*m : (i+1)*m]
+			kk := 0
+			for {
+				for kk < len(arow) && arow[kk] == 0 {
+					kk++
+				}
+				if kk == len(arow) {
+					break
+				}
+				av0, k0 := arow[kk], kb+kk
+				kk++
+				for kk < len(arow) && arow[kk] == 0 {
+					kk++
+				}
+				b0 := b.Data[k0*m : (k0+1)*m]
+				if kk == len(arow) {
+					if m4 > 0 {
+						axpy1AVX2(&orow[0], &b0[0], av0, m4)
+					}
+					for j := m4; j < m; j++ {
+						orow[j] += av0 * b0[j]
+					}
+					break
+				}
+				av1, k1 := arow[kk], kb+kk
+				kk++
+				b1 := b.Data[k1*m : (k1+1)*m]
+				if m4 > 0 {
+					axpy2AVX2(&orow[0], &b0[0], &b1[0], av0, av1, m4)
+				}
+				for j := m4; j < m; j++ {
+					t := orow[j] + av0*b0[j]
+					orow[j] = t + av1*b1[j]
+				}
+			}
+		}
+	}
+	return true
+}

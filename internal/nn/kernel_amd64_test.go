@@ -1,0 +1,82 @@
+//go:build amd64
+
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// forceScalarMul runs fn with the AVX2 kernels disabled.
+func forceScalarMul(fn func()) {
+	saved := useMulAVX2
+	useMulAVX2 = false
+	defer func() { useMulAVX2 = saved }()
+	fn()
+}
+
+func matricesBitIdentical(t *testing.T, what string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %d×%d, want %d×%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %x, scalar %x", what,
+				i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// TestMulNTAVX2BitIdentical: the register-tiled AVX2 MulNT kernel must
+// reproduce the scalar kernel to the last bit at ragged shapes (odd
+// rows, odd columns, k not a multiple of 4 or 8, k < 4).
+func TestMulNTAVX2BitIdentical(t *testing.T) {
+	if !useMulAVX2 {
+		t.Skip("no AVX2")
+	}
+	r := prng.New(0x51ce)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 2}, {3, 4, 3}, {5, 7, 9}, {4, 8, 4}, {7, 129, 131}, {8, 1024, 16}}
+	for trial := 0; trial < 12; trial++ {
+		shapes = append(shapes, [3]int{1 + r.Intn(9), 1 + r.Intn(140), 1 + r.Intn(140)})
+	}
+	for _, sh := range shapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a := randMatrix(r, n, k)
+		b := randMatrix(r, m, k)
+		got := MulNT(a, b)
+		var want *Matrix
+		forceScalarMul(func() { want = MulNT(a, b) })
+		matricesBitIdentical(t, "MulNT", got, want)
+	}
+}
+
+// TestMulAVX2BitIdentical: the vector axpy MulInto kernel must match
+// the scalar zero-skip kernel to the last bit, including when A is
+// sparse (odd runs of zeros exercise the pair/single split).
+func TestMulAVX2BitIdentical(t *testing.T) {
+	if !useMulAVX2 {
+		t.Skip("no AVX2")
+	}
+	r := prng.New(0x51cf)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 2}, {3, 5, 7}, {4, 300, 6}, {5, 257, 131}, {2, 1024, 9}}
+	for trial := 0; trial < 12; trial++ {
+		shapes = append(shapes, [3]int{1 + r.Intn(9), 1 + r.Intn(300), 1 + r.Intn(140)})
+	}
+	for _, sh := range shapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a := randMatrix(r, n, k)
+		for i := range a.Data {
+			if r.Intn(2) == 0 {
+				a.Data[i] = 0
+			}
+		}
+		b := randMatrix(r, k, m)
+		got := Mul(a, b)
+		var want *Matrix
+		forceScalarMul(func() { want = Mul(a, b) })
+		matricesBitIdentical(t, "Mul", got, want)
+	}
+}

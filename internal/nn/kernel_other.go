@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package nn
+
+// mulNTRangeAccel has no accelerated implementation off amd64; the
+// caller falls through to the scalar kernel.
+func mulNTRangeAccel(out, a, b *Matrix, lo, hi int) bool { return false }
+
+// mulRangeAccel has no accelerated implementation off amd64.
+func mulRangeAccel(out, a, b *Matrix, lo, hi int) bool { return false }

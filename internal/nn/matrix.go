@@ -210,8 +210,14 @@ func checkMulInto(out, a, b *Matrix) {
 
 // mulRange accumulates rows [lo, hi) of A·B into out. Each output row
 // is a chain over k in ascending block order, independent of how rows
-// are partitioned across workers.
+// are partitioned across workers. On AVX2 hosts the vector axpy kernel
+// runs instead; it reproduces the same per-element addition chain (one
+// rounding per nonzero k, ascending), so the two paths are
+// bit-identical.
 func mulRange(out, a, b *Matrix, lo, hi int) {
+	if mulRangeAccel(out, a, b, lo, hi) {
+		return
+	}
 	for kb := 0; kb < a.Cols; kb += mulKBlock {
 		ke := kb + mulKBlock
 		if ke > a.Cols {
@@ -333,37 +339,48 @@ func checkMulNTInto(out, a, b *Matrix) {
 }
 
 // mulNTRange computes rows [lo, hi) of A·Bᵀ into out. Every element is
-// an independent dot product, so any row partition is bitwise identical.
+// an independent dot product, so any row partition is bitwise
+// identical. On AVX2 hosts the 2×2 register-tiled kernel runs instead;
+// its vector lanes are exactly dotNT's four stride-4 partials, so the
+// two paths are bit-identical.
 func mulNTRange(out, a, b *Matrix, lo, hi int) {
+	if mulNTRangeAccel(out, a, b, lo, hi) {
+		return
+	}
 	k := a.Cols
-	k4 := k &^ 3
-	{
-		for jb := 0; jb < b.Rows; jb += mulJBlock {
-			je := jb + mulJBlock
-			if je > b.Rows {
-				je = b.Rows
-			}
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*k : (i+1)*k]
-				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-				for j := jb; j < je; j++ {
-					brow := b.Data[j*k : (j+1)*k]
-					var s0, s1, s2, s3 float64
-					for p := 0; p < k4; p += 4 {
-						s0 += arow[p] * brow[p]
-						s1 += arow[p+1] * brow[p+1]
-						s2 += arow[p+2] * brow[p+2]
-						s3 += arow[p+3] * brow[p+3]
-					}
-					s := s0 + s1 + s2 + s3
-					for p := k4; p < k; p++ {
-						s += arow[p] * brow[p]
-					}
-					orow[j] = s
-				}
+	for jb := 0; jb < b.Rows; jb += mulJBlock {
+		je := jb + mulJBlock
+		if je > b.Rows {
+			je = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j := jb; j < je; j++ {
+				orow[j] = dotNT(arow, b.Data[j*k:(j+1)*k])
 			}
 		}
 	}
+}
+
+// dotNT is the scalar reference dot product every MulNT path must
+// reproduce bit for bit: four stride-4 partial sums over the aligned
+// prefix, combined left to right, then a sequential tail.
+func dotNT(arow, brow []float64) float64 {
+	k := len(arow)
+	k4 := k &^ 3
+	var s0, s1, s2, s3 float64
+	for p := 0; p < k4; p += 4 {
+		s0 += arow[p] * brow[p]
+		s1 += arow[p+1] * brow[p+1]
+		s2 += arow[p+2] * brow[p+2]
+		s3 += arow[p+3] * brow[p+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for p := k4; p < k; p++ {
+		s += arow[p] * brow[p]
+	}
+	return s
 }
 
 // AddRowVector adds vector v (length Cols) to every row of m in place.

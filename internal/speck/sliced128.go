@@ -1,0 +1,33 @@
+package speck
+
+import "fmt"
+
+// SlicedLanes is the lane count of EncryptDiffSliced128, the width the
+// SPECK scenario's packed sampler batches by.
+const SlicedLanes = 128
+
+// EncryptDiffSliced128 is the ×128 differential-sampler kernel: for
+// each lane l it computes
+//
+//	EncryptRounds(p[l], n) ⊕ EncryptRounds(p[l] ⊕ delta, n)
+//
+// under lane l's own key schedule, returning the output differences as
+// X ‖ Y<<16 words. Inputs arrive as packed lane rows (PackKeyRow /
+// PackBlockRow) and are not modified.
+//
+// On amd64 with AVX2 the whole computation — both δ-partner states of
+// both 64-lane groups — runs as one interleaved-plane pass in assembly
+// (sliced_amd64.s), four plane words per vector op. Everywhere else the
+// two 64-lane halves run through EncryptDiffSliced64 independently;
+// because every lane is positionally independent, the two paths are
+// bit-identical, which sliced_test.go pins on AVX2 machines.
+func EncryptDiffSliced128(keyRows *[128]uint64, ptRows *[128]uint32, delta Block, n int, out *[128]uint32) {
+	if n < 0 || n > Rounds {
+		panic(fmt.Sprintf("speck: invalid round count %d", n))
+	}
+	if encryptDiff128Accel(keyRows, ptRows, delta, n, out) {
+		return
+	}
+	EncryptDiffSliced64((*[64]uint64)(keyRows[0:64]), (*[64]uint32)(ptRows[0:64]), delta, n, (*[64]uint32)(out[0:64]))
+	EncryptDiffSliced64((*[64]uint64)(keyRows[64:128]), (*[64]uint32)(ptRows[64:128]), delta, n, (*[64]uint32)(out[64:128]))
+}

@@ -1,0 +1,38 @@
+//go:build amd64
+
+package speck
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// The AVX2 interleaved-plane kernel and the two-half scalar fallback
+// are alternative implementations of the same function; on a machine
+// that has both, they must be bit-identical.
+func TestEncryptDiff128AccelMatchesFallback(t *testing.T) {
+	if !useSpeckAVX2 {
+		t.Skip("no AVX2 on this machine")
+	}
+	r := prng.New(0x51c)
+	for trial := 0; trial < 64; trial++ {
+		var keyRows [128]uint64
+		var ptRows [128]uint32
+		for l := 0; l < 128; l++ {
+			keyRows[l] = r.Uint64()
+			ptRows[l] = uint32(r.Uint64())
+		}
+		n := int(r.Uint64() % (Rounds + 1))
+		var accel, fallback [128]uint32
+		if !encryptDiff128Accel(&keyRows, &ptRows, GohrDelta, n, &accel) {
+			t.Fatal("accel path refused despite AVX2")
+		}
+		useSpeckAVX2 = false
+		EncryptDiffSliced128(&keyRows, &ptRows, GohrDelta, n, &fallback)
+		useSpeckAVX2 = true
+		if accel != fallback {
+			t.Fatalf("trial %d (n=%d): AVX2 kernel diverges from scalar fallback", trial, n)
+		}
+	}
+}

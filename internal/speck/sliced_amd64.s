@@ -1,0 +1,150 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 differential-sampler kernel: 128 (key, plaintext) lanes at once.
+// Every bit plane is one YMM register of four 64-lane words laid out
+// [a·g0, a·g1, b·g0, b·g1] — the two δ-partner states a and b of lane
+// groups g0 (lanes 0–63) and g1 (lanes 64–127) — so one vector op is
+// the scalar kernel's plane op for both states of all 128 lanes.
+// Round-key and l-chain planes are duplicated [g0, g1, g0, g1] by the
+// Go wrapper, which makes the schedule's output directly usable as the
+// encryption round's key operand with no shuffling.
+//
+// The memory layout is the diffPlanes128 struct (sliced128_amd64.go);
+// the byte offsets below are pinned by compile-time asserts there.
+//
+//	+0    x0   current/next X planes (ping-pong with x1)
+//	+512  y0
+//	+1024 x1
+//	+1536 y1
+//	+2048 rk0  current/next round-key planes (ping-pong)
+//	+2560 rk1
+//	+3072 l0   l-chain ring of four slots: schedule step r reads slot
+//	+3584 l1   r&3 and writes slot (r+3)&3, so the rotated-index reads
+//	+4096 l2   of a step never race its own writes
+//	+4608 l3
+//
+// Register plan: SI/R9 current/next state base, R10/R11 current/next
+// round-key base, R12/R13 l-chain read/write slots, R14 the current
+// ·scheduleRC row (round-counter masks), BX l-ring base, CX = n,
+// R8 = r. Y8 carries the ripple-carry plane; Y0–Y7 are scratch.
+
+// One bit of an encryption round, fused exactly like the scalar
+// kernel's loop body: with j7 = (i+7)&15 and jy = (i−2)&15,
+//
+//	s    = X[j7] ^ Y[i]            (rotr by renaming)
+//	nx   = s ^ carry ^ rk[i]
+//	car' = (X[j7] & Y[i]) | (carry & s)
+//	ny   = Y[jy] ^ nx              (rotl by renaming)
+#define ROUNDBIT(i, j7, jy) \
+	VMOVDQU (j7*32)(SI), Y0     \
+	VMOVDQU (512+i*32)(SI), Y1  \
+	VPXOR   Y0, Y1, Y2          \
+	VPAND   Y0, Y1, Y5          \
+	VPXOR   Y2, Y8, Y3          \
+	VPAND   Y8, Y2, Y6          \
+	VMOVDQU (i*32)(R10), Y4     \
+	VPOR    Y5, Y6, Y8          \
+	VPXOR   Y4, Y3, Y3          \
+	VMOVDQU Y3, (i*32)(R9)      \
+	VMOVDQU (512+jy*32)(SI), Y7 \
+	VPXOR   Y3, Y7, Y7          \
+	VMOVDQU Y7, (512+i*32)(R9)
+
+// One bit of a schedule step r (same ripple-carry shape):
+//
+//	s    = l[j7] ^ rk[i]
+//	nl   = s ^ carry ^ rcmask(r, i)
+//	car' = (l[j7] & rk[i]) | (carry & s)
+//	rk'  = rk[jm2] ^ nl
+#define SCHEDBIT(i, j7, jm2) \
+	VMOVDQU (j7*32)(R12), Y0    \
+	VMOVDQU (i*32)(R10), Y1     \
+	VPXOR   Y0, Y1, Y2          \
+	VPAND   Y0, Y1, Y5          \
+	VPXOR   Y2, Y8, Y3          \
+	VPAND   Y8, Y2, Y6          \
+	VPBROADCASTQ (i*8)(R14), Y4 \
+	VPOR    Y5, Y6, Y8          \
+	VPXOR   Y4, Y3, Y3          \
+	VMOVDQU Y3, (i*32)(R13)     \
+	VMOVDQU (jm2*32)(R10), Y7   \
+	VPXOR   Y3, Y7, Y7          \
+	VMOVDQU Y7, (i*32)(R11)
+
+// func encryptDiffAVX2(p *diffPlanes128, n int)
+TEXT ·encryptDiffAVX2(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), DI
+	MOVQ n+8(FP), CX
+	LEAQ ·scheduleRC(SB), R14
+	MOVQ DI, SI
+	LEAQ 1024(DI), R9
+	LEAQ 2048(DI), R10
+	LEAQ 2560(DI), R11
+	LEAQ 3072(DI), BX
+	XORQ R8, R8
+	CMPQ CX, $0
+	JLE  done
+
+round:
+	VPXOR Y8, Y8, Y8
+	ROUNDBIT(0, 7, 14)
+	ROUNDBIT(1, 8, 15)
+	ROUNDBIT(2, 9, 0)
+	ROUNDBIT(3, 10, 1)
+	ROUNDBIT(4, 11, 2)
+	ROUNDBIT(5, 12, 3)
+	ROUNDBIT(6, 13, 4)
+	ROUNDBIT(7, 14, 5)
+	ROUNDBIT(8, 15, 6)
+	ROUNDBIT(9, 0, 7)
+	ROUNDBIT(10, 1, 8)
+	ROUNDBIT(11, 2, 9)
+	ROUNDBIT(12, 3, 10)
+	ROUNDBIT(13, 4, 11)
+	ROUNDBIT(14, 5, 12)
+	ROUNDBIT(15, 6, 13)
+	XCHGQ SI, R9
+
+	// Last round done? The schedule only runs while another round needs
+	// its key (round keys are expanded lazily, exactly n of them).
+	LEAQ 1(R8), AX
+	CMPQ AX, CX
+	JGE  done
+
+	// l-ring slots for step r: read r&3, write (r+3)&3.
+	MOVQ R8, DX
+	ANDQ $3, DX
+	SHLQ $9, DX
+	LEAQ (BX)(DX*1), R12
+	LEAQ 3(R8), DX
+	ANDQ $3, DX
+	SHLQ $9, DX
+	LEAQ (BX)(DX*1), R13
+
+	VPXOR Y8, Y8, Y8
+	SCHEDBIT(0, 7, 14)
+	SCHEDBIT(1, 8, 15)
+	SCHEDBIT(2, 9, 0)
+	SCHEDBIT(3, 10, 1)
+	SCHEDBIT(4, 11, 2)
+	SCHEDBIT(5, 12, 3)
+	SCHEDBIT(6, 13, 4)
+	SCHEDBIT(7, 14, 5)
+	SCHEDBIT(8, 15, 6)
+	SCHEDBIT(9, 0, 7)
+	SCHEDBIT(10, 1, 8)
+	SCHEDBIT(11, 2, 9)
+	SCHEDBIT(12, 3, 10)
+	SCHEDBIT(13, 4, 11)
+	SCHEDBIT(14, 5, 12)
+	SCHEDBIT(15, 6, 13)
+	XCHGQ R10, R11
+	ADDQ  $128, R14
+	INCQ  R8
+	JMP   round
+
+done:
+	VZEROUPPER
+	RET

@@ -6,15 +6,27 @@
 # snapshot. Committed BENCH_*.json files form the repo's performance
 # trajectory.
 #
+# Each benchmark runs -count times (default 3); cmd/benchdiff folds the
+# repeats to the minimum ns/op — the least-noise estimate on a shared
+# box — and the maximum B/op and allocs/op. A second pass re-runs the
+# parallel-sensitive benchmarks (training engine, dataset generation)
+# at GOMAXPROCS=BENCH_MP so the snapshot also tracks scaling; go test
+# suffixes those names with -N, so they land as separate entries.
+#
 # Environment knobs:
 #   BENCH_DATE=YYYYMMDD  snapshot stamp (default: today)
 #   BENCH_TIME=<n>x|<t>s benchtime passed to go test (default 3x)
+#   BENCH_COUNT=<n>      repeats per benchmark (default 3)
+#   BENCH_MP=<n>         GOMAXPROCS for the scaling pass (default 4;
+#                        0 skips the pass)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DATE="${BENCH_DATE:-$(date +%Y%m%d)}"
 OUT="BENCH_${DATE}.json"
 BENCHTIME="${BENCH_TIME:-3x}"
+COUNT="${BENCH_COUNT:-3}"
+MP="${BENCH_MP:-4}"
 
 # Most recent previous snapshot, if any, for the delta report.
 PREV="$(ls BENCH_*.json 2>/dev/null | grep -v "^${OUT}\$" | sort | tail -1 || true)"
@@ -30,7 +42,14 @@ trap 'rm -f "$TMP"' EXIT
 # micro-batching scheduler (BenchmarkServeClassify).
 go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ ./internal/serve/ -run '^$' \
     -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|ServeClassify' \
-    -benchtime "$BENCHTIME" -benchmem | tee "$TMP"
+    -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$TMP"
+
+# Scaling pass: the sharded hot paths again at GOMAXPROCS>1.
+if [[ "$MP" != "0" ]]; then
+  GOMAXPROCS="$MP" go test . ./internal/nn/ -run '^$' \
+      -bench 'Fit$|GenerateDataset' \
+      -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee -a "$TMP"
+fi
 
 go run ./cmd/benchdiff -snapshot "$OUT" -date "$DATE" < "$TMP"
 echo "bench: wrote $OUT"

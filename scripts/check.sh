@@ -65,7 +65,11 @@ if [[ "${CHECK_BENCH:-1}" != "0" ]]; then
       -bench 'PermuteRounds|SpeckEncrypt' -benchtime 1x
   mapfile -t SNAPS < <(ls BENCH_*.json 2>/dev/null | sort | tail -2)
   if [[ "${#SNAPS[@]}" -eq 2 ]]; then
+    # Allocation counts are deterministic (unlike wall clock), so the
+    # allocs/op gate defaults to zero tolerance: a snapshot recording a
+    # new steady-state allocation on any benchmark fails the build.
     go run ./cmd/benchdiff -compare -max-regress "${BENCH_MAX_REGRESS:-100}" \
+        -max-alloc-regress "${BENCH_MAX_ALLOC_REGRESS:-0}" \
         "${SNAPS[0]}" "${SNAPS[1]}"
   fi
 fi
