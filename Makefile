@@ -4,7 +4,7 @@
 check:
 	./scripts/check.sh
 
-# Conformance suite only: KATs for all five primitives plus
+# Conformance suite only: KATs for all eight primitives plus
 # sampled-vs-exact DP cross-validation, uncached.
 conformance:
 	go test -count=1 -v ./internal/testkit/

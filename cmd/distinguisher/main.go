@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		target     = flag.String("target", "gimli-cipher", "gimli-cipher | gimli-hash | speck | gift64 | salsa | trivium")
+		target     = flag.String("target", "gimli-cipher", strings.Join(core.ScenarioNames(), " | "))
 		rounds     = flag.Int("rounds", 6, "round-reduced rounds (trivium: init clocks)")
 		train      = flag.Int("train", 8192, "training samples per class")
 		val        = flag.Int("val", 2048, "validation samples per class")
@@ -90,9 +90,9 @@ func validateFlags(target, classifier string, workers int, loadDist string) erro
 	if loadDist != "" {
 		return nil
 	}
-	if !slices.Contains(core.ScenarioNames, target) {
+	if !slices.Contains(core.ScenarioNames(), target) {
 		return fmt.Errorf("unknown -target %q (registered scenarios: %s)",
-			target, strings.Join(core.ScenarioNames, ", "))
+			target, strings.Join(core.ScenarioNames(), ", "))
 	}
 	if !slices.Contains(classifierNames, classifier) {
 		return fmt.Errorf("unknown -classifier %q (want %s)",

@@ -9,7 +9,7 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	// Every registered scenario passes with a sane worker count.
-	for _, name := range core.ScenarioNames {
+	for _, name := range core.ScenarioNames() {
 		if err := validateFlags(name, "nn", 1, ""); err != nil {
 			t.Errorf("validateFlags(%q) = %v", name, err)
 		}
@@ -28,7 +28,7 @@ func TestValidateFlags(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown target accepted")
 	}
-	for _, name := range core.ScenarioNames {
+	for _, name := range core.ScenarioNames() {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("target error %q does not list scenario %q", err, name)
 		}

@@ -37,7 +37,7 @@ var out io.Writer = os.Stdout
 // tableNames and figureNames list the values -table and -figure
 // accept; the dispatch chain in main covers exactly these.
 var (
-	tableNames  = []string{"1", "2", "3", "complexity", "e", "ablation", "multiclass", "sweep", "bias"}
+	tableNames  = []string{"1", "2", "3", "complexity", "e", "ablation", "multiclass", "sweep", "bias", "ciphers"}
 	figureNames = []string{"1"}
 )
 
@@ -61,7 +61,7 @@ func validateFlags(table, figure string, workers int) error {
 
 func main() {
 	var (
-		table      = flag.String("table", "", "table to regenerate: 1, 2, 3, complexity, e, ablation, multiclass, sweep, bias")
+		table      = flag.String("table", "", "table to regenerate: "+strings.Join(tableNames, ", "))
 		figure     = flag.String("figure", "", "figure to regenerate: 1")
 		all        = flag.Bool("all", false, "regenerate everything")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full data budget (2^17.6 samples, 20 epochs)")
@@ -128,6 +128,9 @@ func main() {
 	}
 	if *all || *table == "bias" {
 		run("bias", func() error { return printBias(*seed) })
+	}
+	if *all || *table == "ciphers" {
+		run("ciphers", func() error { return printCiphers(sc, *seed) })
 	}
 	if *all || *figure == "1" {
 		run("figure 1", printFigure1)
@@ -284,6 +287,20 @@ func printSweep(sc experiments.Scale, seed uint64) error {
 		}
 		fmt.Fprintln(out)
 	}
+	return nil
+}
+
+func printCiphers(sc experiments.Scale, seed uint64) error {
+	fmt.Fprintln(out, "New-cipher sweep (extension): SPECK baseline plus SIMON/SIMECK/Chaskey")
+	fmt.Fprintln(out, "at registered rounds; -rk rows use the related-key difference ∇ of Lu et al.")
+	rows, err := experiments.CipherTable(nil, sc, seed, func(line string) {
+		fmt.Fprintln(os.Stderr, "  ...", line)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, experiments.FormatCipherTable(rows))
+	fmt.Fprintln(out)
 	return nil
 }
 

@@ -123,6 +123,19 @@ func TestPrintMulticlassAndAblation(t *testing.T) {
 	}
 }
 
+func TestPrintCiphers(t *testing.T) {
+	buf := captureOut(t)
+	if err := printCiphers(tinyScale(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"speck", "simon", "simon-rk", "simeck", "simeck-rk", "chaskey"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ciphers output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 // tinyScale keeps printer tests fast: the experiments themselves are
 // validated at realistic scales in internal/experiments.
 func tinyScale() experiments.Scale {

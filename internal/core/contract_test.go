@@ -14,8 +14,8 @@ import (
 // FeatureLen entries, for every class, under arbitrary seeds.
 func TestRegisteredScenarioContracts(t *testing.T) {
 	scs := core.RegisteredScenarios()
-	if len(scs) < 6 {
-		t.Fatalf("registry has %d scenarios, want all 6 families", len(scs))
+	if len(scs) < 11 {
+		t.Fatalf("registry has %d scenarios, want all 11 families", len(scs))
 	}
 	for _, s := range scs {
 		s := s

@@ -109,6 +109,35 @@ type SliceScenario interface {
 	SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int)
 }
 
+// RelatedKeyScenario is the related-key axis of the paper's
+// construction (keyed, t-class, related-key): every cipher class pairs
+// its plaintext difference δ with a key difference ∇, and a class
+// sample encrypts (P, P ⊕ δ) under the key pair (K, K ⊕ ∇) instead of
+// a single key. An all-zero ∇ must degenerate to the ordinary keyed
+// scenario bit for bit, so the related-key variant is a strict
+// generalization.
+//
+// Related-key sampling draws more structure per row (a key, then a
+// plaintext, in a fixed order), so implementations additionally declare
+// their per-class generator layout via DrawWords, and
+// testkit.CheckScenario audits the declaration: Sample for a class
+// must consume exactly DrawWords(class) 64-bit outputs. Row-positional
+// substreams (prng.NewStream(base, row)) already make
+// GenerateDataset/GenerateDatasetParallel byte-identical at any worker
+// count whatever a row consumes; the declared layout pins that
+// consumption down so a related-key path that silently draws
+// differently from its specification cannot pass conformance.
+type RelatedKeyScenario interface {
+	BatchScenario
+	// KeyDelta returns the key difference ∇ serialized in the cipher's
+	// NewFromBytes layout. All-zero means single-key.
+	KeyDelta() []byte
+	// DrawWords returns the exact number of 64-bit generator outputs
+	// one Sample or SampleBatch call consumes for the given cipher
+	// class (0 ≤ class < Classes()).
+	DrawWords(class int) int
+}
+
 // DatasetClassifier is the packed fast path of Classifier: it consumes
 // a Dataset's backing store directly instead of a materialized
 // [][]float64 view. Train and evalAccuracy prefer it when present;

@@ -11,32 +11,6 @@ import (
 	"repro/internal/nn"
 )
 
-// NewScenarioByName constructs one of the built-in scenarios from its
-// registry name — the same names cmd/distinguisher accepts. For
-// "trivium" the rounds argument is the initialization clock count.
-func NewScenarioByName(target string, rounds int) (Scenario, error) {
-	switch target {
-	case "gimli-cipher":
-		return NewGimliCipherScenario(rounds)
-	case "gimli-hash":
-		return NewGimliHashScenario(rounds)
-	case "speck":
-		return NewSpeckScenario(rounds)
-	case "gift64":
-		return NewGift64Scenario(rounds)
-	case "salsa":
-		return NewSalsaScenario(rounds)
-	case "trivium":
-		return NewTriviumScenario(rounds)
-	default:
-		return nil, fmt.Errorf("core: unknown scenario %q (want gimli-cipher, gimli-hash, speck, gift64, salsa or trivium)", target)
-	}
-}
-
-// ScenarioNames lists the registry names accepted by
-// NewScenarioByName.
-var ScenarioNames = []string{"gimli-cipher", "gimli-hash", "speck", "gift64", "salsa", "trivium"}
-
 // distFile is the serialized form of a trained distinguisher: the
 // paper's ".h5 file plus experiment metadata" artifact.
 type distFile struct {

@@ -11,7 +11,7 @@ import (
 )
 
 func TestNewScenarioByName(t *testing.T) {
-	for _, name := range ScenarioNames {
+	for _, name := range ScenarioNames() {
 		rounds := 4
 		if name == "salsa" {
 			rounds = 4 // must be even

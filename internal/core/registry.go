@@ -1,29 +1,78 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
-// RegisteredScenarios returns one representative instance of every
-// scenario family in the repository, at the round-reduced
-// configurations the paper's experiments run (Table 2). The
-// conformance suite iterates this list so that adding a new target
-// automatically subjects it to the Scenario contract checks; register
-// new families here.
-func RegisteredScenarios() []Scenario {
-	mk := func(s Scenario, err error) Scenario {
-		if err != nil {
-			panic(fmt.Sprintf("core: registered scenario construction failed: %v", err))
-		}
-		return s
-	}
-	return []Scenario{
-		mk(sc(NewGimliHashScenario(8))),
-		mk(sc(NewGimliCipherScenario(8))),
-		mk(sc(NewSpeckScenario(7))),
-		mk(sc(NewGift64Scenario(4))),
-		mk(sc(NewSalsaScenario(8))),
-		mk(sc(NewTriviumScenario(576))),
+// ScenarioFamily is one registered scenario constructor: the stable
+// target name the CLIs accept, the representative round-reduced
+// configuration the conformance suite and cmd/tables run, and the
+// constructor NewScenarioByName dispatches to. For "trivium" the
+// rounds argument is the initialization clock count.
+type ScenarioFamily struct {
+	Target string
+	Rounds int
+	New    func(rounds int) (Scenario, error)
+}
+
+// ScenarioFamilies returns every scenario family in the repository, in
+// registration order. This single table drives RegisteredScenarios,
+// NewScenarioByName and ScenarioNames, so registering a family here is
+// all it takes for a new target to reach the conformance suite, the
+// CLIs and their usage strings.
+func ScenarioFamilies() []ScenarioFamily {
+	return []ScenarioFamily{
+		{"gimli-cipher", 8, func(r int) (Scenario, error) { return NewGimliCipherScenario(r) }},
+		{"gimli-hash", 8, func(r int) (Scenario, error) { return NewGimliHashScenario(r) }},
+		{"speck", 7, func(r int) (Scenario, error) { return NewSpeckScenario(r) }},
+		{"gift64", 4, func(r int) (Scenario, error) { return NewGift64Scenario(r) }},
+		{"salsa", 8, func(r int) (Scenario, error) { return NewSalsaScenario(r) }},
+		{"trivium", 576, func(r int) (Scenario, error) { return NewTriviumScenario(r) }},
+		{"simon", 8, func(r int) (Scenario, error) { return NewSimonScenario(r) }},
+		{"simon-rk", 10, func(r int) (Scenario, error) { return NewSimonRKScenario(r) }},
+		{"simeck", 8, func(r int) (Scenario, error) { return NewSimeckScenario(r) }},
+		{"simeck-rk", 12, func(r int) (Scenario, error) { return NewSimeckRKScenario(r) }},
+		{"chaskey", 3, func(r int) (Scenario, error) { return NewChaskeyScenario(r) }},
 	}
 }
 
-// sc adapts a concrete (*T, error) constructor result to (Scenario, error).
-func sc[S Scenario](s S, err error) (Scenario, error) { return s, err }
+// RegisteredScenarios returns one representative instance of every
+// scenario family, at its registered round-reduced configuration. The
+// conformance suite iterates this list so a newly registered family is
+// automatically subjected to the Scenario contract checks.
+func RegisteredScenarios() []Scenario {
+	fams := ScenarioFamilies()
+	out := make([]Scenario, len(fams))
+	for i, f := range fams {
+		s, err := f.New(f.Rounds)
+		if err != nil {
+			panic(fmt.Sprintf("core: registered scenario %s construction failed: %v", f.Target, err))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// NewScenarioByName constructs one of the registered scenarios from
+// its family target name — the same names cmd/distinguisher and
+// cmd/tables accept.
+func NewScenarioByName(target string, rounds int) (Scenario, error) {
+	for _, f := range ScenarioFamilies() {
+		if f.Target == target {
+			return f.New(rounds)
+		}
+	}
+	return nil, fmt.Errorf("core: unknown scenario %q (want %s)", target, strings.Join(ScenarioNames(), ", "))
+}
+
+// ScenarioNames lists the registry names accepted by NewScenarioByName,
+// in registration order.
+func ScenarioNames() []string {
+	fams := ScenarioFamilies()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Target
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// The cipher table extends the paper's evaluation beyond GIMLI: one
+// trained distinguisher per registered scenario family at its
+// registered round-reduced depth, covering the SPECK baseline and the
+// SIMON/SIMECK/Chaskey sweep — including the related-key variants,
+// whose key-schedule difference cancellation pushes the reachable
+// round count past the single-key setting.
+
+// CipherTableRow is one scenario family's distinguisher result.
+type CipherTableRow struct {
+	Target     string // registry family name ("simon", "simon-rk", …)
+	Scenario   string // full scenario name
+	Rounds     int
+	RelatedKey bool
+	Accuracy   float64
+	TrainAcc   float64
+	Zscore     float64
+	Signal     bool // z ≥ 3: a usable distinguisher at this budget
+	TrainTime  time.Duration
+}
+
+// SweepTargets lists the new-cipher families of the sweep, in
+// registration order.
+func SweepTargets() []string {
+	return []string{"simon", "simon-rk", "simeck", "simeck-rk", "chaskey"}
+}
+
+// CipherTable trains one distinguisher per named scenario family at
+// its registered round count. A nil targets slice selects the
+// new-cipher sweep plus the SPECK baseline. progress, if non-nil,
+// receives one line per trained cell.
+func CipherTable(targets []string, sc Scale, seed uint64, progress func(string)) ([]CipherTableRow, error) {
+	if targets == nil {
+		targets = append([]string{"speck"}, SweepTargets()...)
+	}
+	registered := map[string]int{}
+	for _, f := range core.ScenarioFamilies() {
+		registered[f.Target] = f.Rounds
+	}
+	var rows []CipherTableRow
+	for _, target := range targets {
+		rounds, ok := registered[target]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scenario family %q", target)
+		}
+		row, err := CipherCell(target, rounds, sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("%s (%s): accuracy %.4f (z=%.1f) in %s",
+				target, row.Scenario, row.Accuracy, row.Zscore, row.TrainTime.Round(time.Millisecond)))
+		}
+	}
+	return rows, nil
+}
+
+// CipherCell trains one registered scenario family at an explicit
+// round count.
+func CipherCell(target string, rounds int, sc Scale, seed uint64) (CipherTableRow, error) {
+	s, err := core.NewScenarioByName(target, rounds)
+	if err != nil {
+		return CipherTableRow{}, err
+	}
+	c, err := core.NewMLPClassifier(s.FeatureLen(), s.Classes(), sc.Hidden, seed)
+	if err != nil {
+		return CipherTableRow{}, err
+	}
+	c.Epochs = sc.Epochs
+	c.Workers = sc.Workers
+	start := time.Now()
+	d, err := core.Train(s, c, core.TrainConfig{
+		TrainPerClass: sc.TrainPerClass,
+		ValPerClass:   sc.ValPerClass,
+		Seed:          seed,
+	})
+	elapsed := time.Since(start)
+	// ErrNoDistinguisher is a legitimate outcome near the signal
+	// boundary; report the measured row anyway.
+	if err != nil && d == nil {
+		return CipherTableRow{}, err
+	}
+	row := CipherTableRow{
+		Target:    target,
+		Scenario:  s.Name(),
+		Rounds:    rounds,
+		Accuracy:  d.Accuracy,
+		TrainAcc:  d.TrainAccuracy,
+		Zscore:    stats.ZScore(d.Accuracy, 0.5, d.ValSamples),
+		Signal:    stats.ZScore(d.Accuracy, 0.5, d.ValSamples) >= 3,
+		TrainTime: elapsed,
+	}
+	if rk, ok := s.(core.RelatedKeyScenario); ok {
+		for _, b := range rk.KeyDelta() {
+			if b != 0 {
+				row.RelatedKey = true
+				break
+			}
+		}
+	}
+	return row, nil
+}
+
+// FormatCipherTable renders the sweep rows for terminal output.
+func FormatCipherTable(rows []CipherTableRow) string {
+	out := "family     rounds  rk     accuracy  z-score  signal  train-time\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%-9s  %6d  %-5v  %8.4f  %7.1f  %-6v  %s\n",
+			r.Target, r.Rounds, r.RelatedKey, r.Accuracy, r.Zscore, r.Signal,
+			FormatDuration(r.TrainTime))
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Property tests through internal/testkit. External test package:
+// testkit imports simon, so these cannot live in package simon.
+package simon_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simon"
+	"repro/internal/testkit"
+)
+
+// TestEncryptDecryptRoundTrip: DecryptRounds inverts EncryptRounds for
+// every key, block, and round count in [0, 32].
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	testkit.Check(t, "simon-encrypt-decrypt", testkit.SimonCases(), func(c testkit.SimonCase) error {
+		ci := simon.New(c.Key)
+		ct := ci.EncryptRounds(c.Block, c.Rounds)
+		if got := ci.DecryptRounds(ct, c.Rounds); got != c.Block {
+			return fmt.Errorf("decrypt(encrypt(%v)) = %v over %d rounds", c.Block, got, c.Rounds)
+		}
+		return nil
+	})
+}
+
+// TestEncryptionIsPermutation: distinct plaintexts stay distinct under
+// the same key (injectivity on a sampled pair).
+func TestEncryptionIsPermutation(t *testing.T) {
+	testkit.Check(t, "simon-injective", testkit.SimonCases(), func(c testkit.SimonCase) error {
+		ci := simon.New(c.Key)
+		other := simon.Block{X: c.Block.X ^ 1, Y: c.Block.Y}
+		if ci.EncryptRounds(c.Block, c.Rounds) == ci.EncryptRounds(other, c.Rounds) {
+			return fmt.Errorf("collision: %v and %v encrypt equal over %d rounds", c.Block, other, c.Rounds)
+		}
+		return nil
+	})
+}
+
+// TestExpandMatchesNew: re-keying a dirty Cipher in place produces the
+// same schedule New computes from scratch — the zero-alloc sampler
+// loops depend on it.
+func TestExpandMatchesNew(t *testing.T) {
+	testkit.Check(t, "simon-expand-determinism", testkit.SimonCases(), func(c testkit.SimonCase) error {
+		var dirty simon.Cipher
+		dirty.Expand(simon.Key{0xffff, 0xeeee, 0xdddd, 0xcccc}) // dirty schedule first
+		dirty.Expand(c.Key)
+		fresh := simon.New(c.Key)
+		for i := 0; i < simon.Rounds; i++ {
+			if dirty.RoundKey(i) != fresh.RoundKey(i) {
+				return fmt.Errorf("round key %d: Expand gives %04x, New gives %04x", i, dirty.RoundKey(i), fresh.RoundKey(i))
+			}
+		}
+		return nil
+	})
+}
+
+// TestPairMatchesScalar: the interleaved pair paths are bit-identical
+// to two scalar EncryptRounds calls, including the cross-key variant
+// the related-key sampler uses.
+func TestPairMatchesScalar(t *testing.T) {
+	testkit.Check(t, "simon-pair-vs-scalar", testkit.SimonCases(), func(c testkit.SimonCase) error {
+		ci := simon.New(c.Key)
+		other := simon.Block{X: ^c.Block.X, Y: c.Block.Y ^ 0x0040}
+		a, b := ci.EncryptPairRounds(c.Block, other, c.Rounds)
+		if a != ci.EncryptRounds(c.Block, c.Rounds) || b != ci.EncryptRounds(other, c.Rounds) {
+			return fmt.Errorf("pair path diverges over %d rounds", c.Rounds)
+		}
+		cj := simon.New(c.Key.XOR(simon.LuKeyDelta))
+		a, b = simon.EncryptCrossPairRounds(ci, cj, c.Block, other, c.Rounds)
+		if a != ci.EncryptRounds(c.Block, c.Rounds) || b != cj.EncryptRounds(other, c.Rounds) {
+			return fmt.Errorf("cross-key pair path diverges over %d rounds", c.Rounds)
+		}
+		return nil
+	})
+}

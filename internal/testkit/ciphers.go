@@ -3,9 +3,12 @@ package testkit
 import (
 	"fmt"
 
+	"repro/internal/chaskey"
 	"repro/internal/gimli"
 	"repro/internal/prng"
 	"repro/internal/salsa"
+	"repro/internal/simeck"
+	"repro/internal/simon"
 	"repro/internal/speck"
 )
 
@@ -143,6 +146,157 @@ func SpeckCases() Gen[SpeckCase] {
 		},
 		Format: func(v SpeckCase) string {
 			return fmt.Sprintf("key=%04x block=(%04x,%04x) rounds=%d", v.Key, v.Block.X, v.Block.Y, v.Rounds)
+		},
+	}
+}
+
+// SimonCase is one SIMON-32/64 round-trip instance: a key, a plaintext
+// block, and a round count.
+type SimonCase struct {
+	Key    simon.Key
+	Block  simon.Block
+	Rounds int
+}
+
+// SimonCases generates SIMON key/block/round triples covering every
+// round count in [0, 32]. Shrinking zeroes key and block words and
+// lowers the round count.
+func SimonCases() Gen[SimonCase] {
+	return Gen[SimonCase]{
+		Name: "simon case",
+		Generate: func(r *prng.Rand) SimonCase {
+			var c SimonCase
+			for i := range c.Key {
+				c.Key[i] = r.Uint16()
+			}
+			c.Block = simon.Block{X: r.Uint16(), Y: r.Uint16()}
+			c.Rounds = r.Intn(simon.Rounds + 1)
+			return c
+		},
+		Shrink: func(v SimonCase) []SimonCase {
+			var out []SimonCase
+			if v.Rounds > 0 {
+				c := v
+				c.Rounds--
+				out = append(out, c)
+			}
+			for i, w := range v.Key {
+				if w != 0 {
+					c := v
+					c.Key[i] = 0
+					out = append(out, c)
+				}
+			}
+			if v.Block.X != 0 {
+				c := v
+				c.Block.X = 0
+				out = append(out, c)
+			}
+			if v.Block.Y != 0 {
+				c := v
+				c.Block.Y = 0
+				out = append(out, c)
+			}
+			return out
+		},
+		Format: func(v SimonCase) string {
+			return fmt.Sprintf("key=%04x block=(%04x,%04x) rounds=%d", [4]uint16(v.Key), v.Block.X, v.Block.Y, v.Rounds)
+		},
+	}
+}
+
+// SimeckCase is one SIMECK-32/64 round-trip instance: a key, a
+// plaintext block, and a round count.
+type SimeckCase struct {
+	Key    simeck.Key
+	Block  simeck.Block
+	Rounds int
+}
+
+// SimeckCases generates SIMECK key/block/round triples covering every
+// round count in [0, 32].
+func SimeckCases() Gen[SimeckCase] {
+	return Gen[SimeckCase]{
+		Name: "simeck case",
+		Generate: func(r *prng.Rand) SimeckCase {
+			var c SimeckCase
+			for i := range c.Key {
+				c.Key[i] = r.Uint16()
+			}
+			c.Block = simeck.Block{X: r.Uint16(), Y: r.Uint16()}
+			c.Rounds = r.Intn(simeck.Rounds + 1)
+			return c
+		},
+		Shrink: func(v SimeckCase) []SimeckCase {
+			var out []SimeckCase
+			if v.Rounds > 0 {
+				c := v
+				c.Rounds--
+				out = append(out, c)
+			}
+			for i, w := range v.Key {
+				if w != 0 {
+					c := v
+					c.Key[i] = 0
+					out = append(out, c)
+				}
+			}
+			if v.Block.X != 0 {
+				c := v
+				c.Block.X = 0
+				out = append(out, c)
+			}
+			if v.Block.Y != 0 {
+				c := v
+				c.Block.Y = 0
+				out = append(out, c)
+			}
+			return out
+		},
+		Format: func(v SimeckCase) string {
+			return fmt.Sprintf("key=%04x block=(%04x,%04x) rounds=%d", [4]uint16(v.Key), v.Block.X, v.Block.Y, v.Rounds)
+		},
+	}
+}
+
+// ChaskeyCase is one Chaskey permutation instance: a state and a round
+// count.
+type ChaskeyCase struct {
+	State  chaskey.State
+	Rounds int
+}
+
+// ChaskeyCases generates uniform 128-bit states with round counts in
+// [0, 12]. Shrinking zeroes state words and lowers the round count.
+func ChaskeyCases() Gen[ChaskeyCase] {
+	return Gen[ChaskeyCase]{
+		Name: "chaskey case",
+		Generate: func(r *prng.Rand) ChaskeyCase {
+			var c ChaskeyCase
+			for i := range c.State {
+				c.State[i] = r.Uint32()
+			}
+			c.Rounds = r.Intn(chaskey.LTSRounds + 1)
+			return c
+		},
+		Shrink: func(v ChaskeyCase) []ChaskeyCase {
+			var out []ChaskeyCase
+			if v.Rounds > 0 {
+				c := v
+				c.Rounds--
+				out = append(out, c)
+			}
+			for i, w := range v.State {
+				if w != 0 {
+					c := v
+					c.State[i] = 0
+					out = append(out, c)
+				}
+			}
+			return out
+		},
+		Format: func(v ChaskeyCase) string {
+			return fmt.Sprintf("state=%08x rounds=%d", [4]uint32(v.State), v.Rounds)
 		},
 	}
 }

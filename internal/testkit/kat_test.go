@@ -6,17 +6,18 @@ import (
 )
 
 // TestStandardKATs is the conformance suite: every pinned and official
-// vector for all five primitives must pass through the one harness.
+// vector for all eight primitives must pass through the one harness.
 func TestStandardKATs(t *testing.T) {
 	if failed := RunKATs(t, StandardKATs()); failed != 0 {
 		t.Fatalf("%d conformance vectors failed", failed)
 	}
 }
 
-// TestStandardKATsCoverAllPrimitives: the suite must exercise all five
-// paper targets; losing one (e.g. in a refactor) is itself a failure.
+// TestStandardKATsCoverAllPrimitives: the suite must exercise every
+// distinguisher target; losing one (e.g. in a refactor) is itself a
+// failure.
 func TestStandardKATsCoverAllPrimitives(t *testing.T) {
-	want := []string{"gimli", "speck", "gift", "salsa", "trivium"}
+	want := []string{"gimli", "speck", "gift", "salsa", "trivium", "simon", "simeck", "chaskey"}
 	have := map[string]bool{}
 	for _, k := range StandardKATs() {
 		have[k.Primitive] = true
@@ -41,6 +42,31 @@ func TestOfficialGimliVectorPresent(t *testing.T) {
 		}
 	}
 	t.Fatal("official gimli permutation vector missing from the suite")
+}
+
+// TestOfficialSweepVectorsPresent: each new-cipher-sweep primitive must
+// pass at least one published (official) vector, not just pinned ones,
+// before any of its accuracy numbers are trusted.
+func TestOfficialSweepVectorsPresent(t *testing.T) {
+	want := map[string]string{
+		"simon":   "simon32-64",
+		"simeck":  "simeck32-64",
+		"chaskey": "mac-empty",
+	}
+	for prim, name := range want {
+		found := false
+		for _, k := range StandardKATs() {
+			if k.Primitive == prim && k.Name == name {
+				found = true
+				if !strings.HasPrefix(k.Source, "official") {
+					t.Errorf("%s/%s not marked official: %q", prim, name, k.Source)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("official %s vector %q missing from the suite", prim, name)
+		}
+	}
 }
 
 // TestRunKATsDetectsCorruption: a flipped bit in an expected output

@@ -54,9 +54,17 @@ func ScenarioDraws(s core.Scenario) Gen[ScenarioDraw] {
 // from an identical generator it must produce exactly the bits of
 // Sample, consume exactly as much generator state, and leave the
 // trailing bits of the last packed word zero.
+//
+// When s also implements core.RelatedKeyScenario, its declared
+// generator layout is audited on every class draw: Sample must consume
+// exactly DrawWords(class) 64-bit outputs, so a related-key path that
+// draws its key or plaintext words differently from its specification
+// fails conformance even though the two sampling paths agree with each
+// other.
 func CheckScenario(t T, s core.Scenario, cfg Config) *Failure[ScenarioDraw] {
 	t.Helper()
 	bs, _ := s.(core.BatchScenario)
+	rk, _ := s.(core.RelatedKeyScenario)
 	words := bits.PackedWords(s.FeatureLen())
 	packed := make([]uint64, words)
 	want := make([]uint64, words)
@@ -90,8 +98,22 @@ func CheckScenario(t T, s core.Scenario, cfg Config) *Failure[ScenarioDraw] {
 				return fmt.Errorf("SampleBatch word %d is %#x, Sample packs to %#x", i, packed[i], want[i])
 			}
 		}
-		if r.Uint64() != rb.Uint64() {
+		probe := r.Uint64()
+		if probe != rb.Uint64() {
 			return fmt.Errorf("SampleBatch consumed different generator state than Sample")
+		}
+		if rk != nil {
+			declared := rk.DrawWords(d.Class)
+			if declared < 0 {
+				return fmt.Errorf("DrawWords(%d) is negative (%d)", d.Class, declared)
+			}
+			rc := prng.NewStream(d.Seed, 0)
+			for i := 0; i < declared; i++ {
+				rc.Uint64()
+			}
+			if rc.Uint64() != probe {
+				return fmt.Errorf("Sample consumed a different number of generator words than the declared layout DrawWords(%d) = %d", d.Class, declared)
+			}
 		}
 		return nil
 	}

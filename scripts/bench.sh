@@ -36,12 +36,14 @@ trap 'rm -f "$TMP"' EXIT
 
 # Root package: dataset generation, batched inference, matrix kernels.
 # internal/nn: the training engine (BenchmarkFit) and kernel micro-benchmarks.
-# internal/gimli + internal/speck: the scalar and interleaved cipher
-# kernels behind the packed dataset fast path.
+# internal/gimli + internal/speck + internal/simon + internal/simeck +
+# internal/chaskey: the scalar and interleaved cipher kernels behind
+# the packed dataset fast path.
 # internal/serve: the full HTTP classify path through the
 # micro-batching scheduler (BenchmarkServeClassify).
-go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ ./internal/serve/ -run '^$' \
-    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|ServeClassify' \
+go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ ./internal/simon/ \
+    ./internal/simeck/ ./internal/chaskey/ ./internal/serve/ -run '^$' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|ServeClassify' \
     -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$TMP"
 
 # Scaling pass: the sharded hot paths again at GOMAXPROCS>1.

@@ -8,8 +8,9 @@
 # internal/metrics). On top of the plain test run this script
 # executes:
 #
-#   - the internal/testkit conformance suite (KATs for all five
-#     primitives, property runner self-tests, sampled-vs-exact DP
+#   - the internal/testkit conformance suite (KATs for all eight
+#     primitives — GIMLI, SPECK, GIFT, Salsa, Trivium, SIMON, SIMECK,
+#     Chaskey — property runner self-tests, sampled-vs-exact DP
 #     cross-validation), uncached so vectors are really re-evaluated;
 #   - a fuzz smoke: each native fuzz target runs for FUZZ_SECONDS
 #     (default 10s) of random exploration, skippable with CHECK_FUZZ=0
@@ -27,6 +28,7 @@ go vet ./...
 go test ./...
 go test -race ./internal/nn/... ./internal/core/...
 go test -race ./internal/serve ./internal/metrics
+go test -race ./internal/simon ./internal/simeck ./internal/chaskey
 
 # --- Conformance suite (testkit): run uncached so KATs re-execute.
 go test -count=1 ./internal/testkit/
@@ -43,7 +45,10 @@ if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
       "./internal/nn FuzzLoadArbitraryBytes" \
       "./internal/nn FuzzSaveLoadRoundTrip" \
       "./internal/core FuzzLoadDistinguisher" \
-      "./internal/core FuzzLoadDataset"; do
+      "./internal/core FuzzLoadDataset" \
+      "./internal/core FuzzSimonEncrypt" \
+      "./internal/core FuzzSimeckEncrypt" \
+      "./internal/core FuzzChaskeyPermute"; do
     set -- $target
     echo "fuzz smoke: $1 $2 (${FUZZ_SECONDS}s)"
     go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime "${FUZZ_SECONDS}s"
@@ -63,6 +68,8 @@ if [[ "${CHECK_BENCH:-1}" != "0" ]]; then
   go test ./internal/nn/ -run '^$' -bench Fit -benchtime 1x
   go test ./internal/gimli/ ./internal/speck/ -run '^$' \
       -bench 'PermuteRounds|SpeckEncrypt' -benchtime 1x
+  go test ./internal/simon/ ./internal/simeck/ ./internal/chaskey/ -run '^$' \
+      -bench 'SimonEncrypt|SimeckEncrypt|ChaskeyPermute' -benchtime 1x
   mapfile -t SNAPS < <(ls BENCH_*.json 2>/dev/null | sort | tail -2)
   if [[ "${#SNAPS[@]}" -eq 2 ]]; then
     # Allocation counts are deterministic (unlike wall clock), so the
@@ -95,5 +102,8 @@ check_cover ./internal/core    95.0
 check_cover ./internal/nn      93.7
 check_cover ./internal/serve   85.0
 check_cover ./internal/metrics 90.0
+check_cover ./internal/simon   100.0
+check_cover ./internal/simeck  100.0
+check_cover ./internal/chaskey 100.0
 
 echo "check.sh: all gates passed"
