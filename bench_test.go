@@ -236,6 +236,52 @@ func BenchmarkGenerateDataset(b *testing.B) {
 		}
 		b.ReportMetric(samples, "samples/op")
 	})
+	// The ×64 bitsliced scenarios, each measured twice over identical
+	// output bytes: through the SliceScenario fast path the engine picks
+	// by default, and through the scalar pair path with the sliced
+	// interface hidden behind a wrapper (the pre-bitslice engine).
+	for _, tc := range []struct {
+		name string
+		s    core.BatchScenario
+	}{
+		{name: "simon8", s: firstErr(core.NewSimonScenario(8))},
+		{name: "simon-rk10", s: firstErr(core.NewSimonRKScenario(10))},
+		{name: "simeck8", s: firstErr(core.NewSimeckScenario(8))},
+		{name: "simeck-rk12", s: firstErr(core.NewSimeckRKScenario(12))},
+		{name: "chaskey3", s: firstErr(core.NewChaskeyScenario(3))},
+		{name: "gift64-4", s: firstErr(core.NewGift64Scenario(4))},
+	} {
+		if tc.s == nil {
+			b.Fatalf("%s: scenario construction failed", tc.name)
+		}
+		b.Run(tc.name+"-sliced", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.GenerateDataset(tc.s, perClass, prng.New(1))
+			}
+			b.ReportMetric(samples, "samples/op")
+		})
+		b.Run(tc.name+"-pair", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.GenerateDataset(pairPathOnly{tc.s}, perClass, prng.New(1))
+			}
+			b.ReportMetric(samples, "samples/op")
+		})
+	}
+}
+
+// pairPathOnly hides every interface of the wrapped scenario except
+// BatchScenario, forcing GenerateDataset onto the scalar pair path.
+type pairPathOnly struct{ core.BatchScenario }
+
+// firstErr collapses a (scenario, error) constructor result to nil on
+// error so table construction stays declarative.
+func firstErr[S core.BatchScenario](s S, err error) core.BatchScenario {
+	if err != nil {
+		return nil
+	}
+	return s
 }
 
 // BenchmarkPredictBatch compares per-sample classification (one 1-row
@@ -315,6 +361,22 @@ func BenchmarkMatMul(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			nn.MulNTInto(out, a, w)
+		}
+	})
+	// The backward pass's Aᵀ·B weight-gradient product at the hidden
+	// layer's shape: 128 samples × 1024 ReLU-sparse activation
+	// gradients against 128×1024 inputs, accumulating into 1024×1024.
+	g := randMat(128, 1024)
+	for i := range g.Data {
+		if i%2 == 0 {
+			g.Data[i] = 0
+		}
+	}
+	acc := nn.NewMatrix(1024, 1024)
+	b.Run("MulTN/128x1024x1024", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nn.MulTNAcc(acc.Data, g, a)
 		}
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -47,6 +48,7 @@ func main() {
 		maxRegress      = flag.Float64("max-regress", 0, "with -compare: exit nonzero if any benchmark's ns/op regressed more than this percentage (0 disables the gate)")
 		maxAllocRegress = flag.Float64("max-alloc-regress", -1, "with -compare: exit nonzero if any benchmark's allocs/op grew more than this percentage (0 = no growth allowed, negative disables the gate)")
 		gateBytes       = flag.Bool("gate-bytes", false, "with -compare: apply -max-alloc-regress to B/op as well")
+		allocExempt     = flag.String("alloc-exempt", "", "with -compare: regexp of benchmark names excluded from the allocation gate (ns/op gate still applies)")
 	)
 	flag.Parse()
 	switch {
@@ -61,6 +63,14 @@ func main() {
 			os.Exit(2)
 		}
 		gates := gateConfig{maxRegress: *maxRegress, maxAllocRegress: *maxAllocRegress, gateBytes: *gateBytes}
+		if *allocExempt != "" {
+			re, err := regexp.Compile(*allocExempt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff: -alloc-exempt:", err)
+				os.Exit(2)
+			}
+			gates.allocExempt = re
+		}
 		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), gates); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
@@ -181,13 +191,18 @@ func dateFromPath(path string) string {
 
 // gateConfig selects which compare gates are armed. maxRegress > 0
 // gates ns/op growth; maxAllocRegress ≥ 0 gates allocs/op growth (0
-// means any growth fails — allocation counts are deterministic, so the
-// natural gate is exact); gateBytes extends the allocation gate to
-// B/op.
+// means any growth fails — allocation counts of the steady-state
+// kernels are deterministic, so the natural gate is exact); gateBytes
+// extends the allocation gate to B/op. allocExempt names benchmarks
+// whose allocation counts are *not* deterministic — the training
+// engine's, where goroutine stack growth and GC-coupled lazy state
+// land in allocs/op differently from run to run — and which therefore
+// only take the ns/op gate.
 type gateConfig struct {
 	maxRegress      float64
 	maxAllocRegress float64
 	gateBytes       bool
+	allocExempt     *regexp.Regexp
 }
 
 // exceeds reports whether a metric moving old → new violates a
@@ -236,7 +251,7 @@ func compareFiles(w io.Writer, oldPath, newPath string, gates gateConfig) error 
 		if gates.maxRegress > 0 && delta > gates.maxRegress {
 			regressed = append(regressed, fmt.Sprintf("%s (ns/op +%.1f%%)", nb.Name, delta))
 		}
-		if gates.maxAllocRegress >= 0 {
+		if gates.maxAllocRegress >= 0 && (gates.allocExempt == nil || !gates.allocExempt.MatchString(nb.Name)) {
 			if exceeds(ob.AllocsPerOp, nb.AllocsPerOp, gates.maxAllocRegress) {
 				regressed = append(regressed, fmt.Sprintf("%s (allocs/op %.0f→%.0f)", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
 			}

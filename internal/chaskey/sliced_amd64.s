@@ -1,0 +1,91 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Word-sliced AVX2 differential-sampler kernel. Chaskey is pure ARX on
+// 32-bit words, so unlike the SIMON/SPECK kernels there is no win in
+// bit planes here: VPADDD adds eight 32-bit lanes natively, and a
+// rotation is shift/shift/or. Each YMM register holds one state word
+// of eight lanes; the two δ-partner state sets a and b are advanced in
+// one interleaved loop (Y0–Y3 = a's v0–v3, Y4–Y7 = b's), eight lane
+// groups in sequence, round loop innermost so states never leave
+// registers. Every operation is an exact integer op, so bit-identity
+// with the scalar path is structural.
+
+// One Chaskey round on one state set (v0–v3, t scratch), mirroring
+// Permute line for line:
+//
+//	v0 += v1; v1 = v1⋘5 ^ v0; v0 ⋘= 16
+//	v2 += v3; v3 = v3⋘8 ^ v2
+//	v0 += v3; v3 = v3⋘13 ^ v0
+//	v2 += v1; v1 = v1⋘7 ^ v2; v2 ⋘= 16
+#define PERMROUND(v0, v1, v2, v3, t) \
+	VPADDD v1, v0, v0   \
+	VPSLLD $5, v1, t    \
+	VPSRLD $27, v1, v1  \
+	VPOR   t, v1, v1    \
+	VPXOR  v0, v1, v1   \
+	VPSLLD $16, v0, t   \
+	VPSRLD $16, v0, v0  \
+	VPOR   t, v0, v0    \
+	VPADDD v3, v2, v2   \
+	VPSLLD $8, v3, t    \
+	VPSRLD $24, v3, v3  \
+	VPOR   t, v3, v3    \
+	VPXOR  v2, v3, v3   \
+	VPADDD v3, v0, v0   \
+	VPSLLD $13, v3, t   \
+	VPSRLD $19, v3, v3  \
+	VPOR   t, v3, v3    \
+	VPXOR  v0, v3, v3   \
+	VPADDD v1, v2, v2   \
+	VPSLLD $7, v1, t    \
+	VPSRLD $25, v1, v1  \
+	VPOR   t, v1, v1    \
+	VPXOR  v2, v1, v1   \
+	VPSLLD $16, v2, t   \
+	VPSRLD $16, v2, v2  \
+	VPOR   t, v2, v2
+
+// func permutePairAVX2(va, vb *[4][64]uint32, n int)
+TEXT ·permutePairAVX2(SB), NOSPLIT, $0-24
+	MOVQ va+0(FP), SI
+	MOVQ vb+8(FP), DI
+	MOVQ n+16(FP), CX
+	MOVQ $8, BX
+
+group:
+	VMOVDQU (SI), Y0
+	VMOVDQU 256(SI), Y1
+	VMOVDQU 512(SI), Y2
+	VMOVDQU 768(SI), Y3
+	VMOVDQU (DI), Y4
+	VMOVDQU 256(DI), Y5
+	VMOVDQU 512(DI), Y6
+	VMOVDQU 768(DI), Y7
+	MOVQ    CX, DX
+	CMPQ    DX, $0
+	JLE     store
+
+rounds:
+	PERMROUND(Y0, Y1, Y2, Y3, Y8)
+	PERMROUND(Y4, Y5, Y6, Y7, Y8)
+	DECQ DX
+	JNZ  rounds
+
+store:
+	VMOVDQU Y0, (SI)
+	VMOVDQU Y1, 256(SI)
+	VMOVDQU Y2, 512(SI)
+	VMOVDQU Y3, 768(SI)
+	VMOVDQU Y4, (DI)
+	VMOVDQU Y5, 256(DI)
+	VMOVDQU Y6, 512(DI)
+	VMOVDQU Y7, 768(DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    BX
+	JNZ     group
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package chaskey
+
+func permuteDiffAccel(loRows, hiRows *[64]uint64, delta State, n int, outLo, outHi *[64]uint64) bool {
+	return false
+}

@@ -137,6 +137,44 @@ func (s *SimonScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 	dst[0] = uint64(d.X) | uint64(d.Y)<<16
 }
 
+// SliceRows returns the bitsliced window: 64 encryption lanes, and at
+// t = 2 every other row is a cheap random sample, so one window is 128
+// rows.
+func (s *SimonScenario) SliceRows() int { return 2 * simon.SlicedLanes }
+
+// SampleSlice fills one 128-row window through the ×64 bitsliced
+// differential kernel. Row j draws from its positional substream
+// exactly as SampleBatch would — class 0 one word, class 1 six 16-bit
+// words, packed into kernel lane rows as they are drawn — then all 64
+// class-1 encryptions run in one EncryptCrossDiffSliced64 call (∇ = 0
+// degenerates to the single-key kernel inside).
+func (s *SimonScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	seeder := prng.NewStreamSeeder(base)
+	var keyRows [simon.SlicedLanes]uint64
+	var ptRows [simon.SlicedLanes]uint32
+	var laneRow [simon.SlicedLanes]int
+	lanes := 0
+	for i := 0; i < 2*simon.SlicedLanes; i++ {
+		j := firstRow + i
+		c := j % 2
+		y[i] = c
+		seeder.Seed(rw, uint64(j))
+		if c == 0 {
+			dst[i] = rw.Uint64() & 0xffffffff
+			continue
+		}
+		keyRows[lanes] = simon.PackKeyRow(simon.Key{rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16()})
+		ptRows[lanes] = simon.PackBlockRow(simon.Block{X: rw.Uint16(), Y: rw.Uint16()})
+		laneRow[lanes] = i
+		lanes++
+	}
+	var out [simon.SlicedLanes]uint32
+	simon.EncryptCrossDiffSliced64(&keyRows, s.KeyD, &ptRows, s.Delta, s.Rounds, &out)
+	for l := 0; l < lanes; l++ {
+		dst[laneRow[l]] = uint64(out[l])
+	}
+}
+
 // SimeckScenario distinguishes round-reduced SIMECK-32/64 output
 // differences from random, optionally under a related-key difference;
 // it is structured exactly like SimonScenario.
@@ -245,6 +283,40 @@ func (s *SimeckScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 	dst[0] = uint64(d.X) | uint64(d.Y)<<16
 }
 
+// SliceRows returns the bitsliced window: 64 encryption lanes plus
+// their interleaved class-0 rows.
+func (s *SimeckScenario) SliceRows() int { return 2 * simeck.SlicedLanes }
+
+// SampleSlice fills one 128-row window through the ×64 bitsliced
+// differential kernel, with the same per-row positional draws as
+// SampleBatch; see SimonScenario.SampleSlice.
+func (s *SimeckScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	seeder := prng.NewStreamSeeder(base)
+	var keyRows [simeck.SlicedLanes]uint64
+	var ptRows [simeck.SlicedLanes]uint32
+	var laneRow [simeck.SlicedLanes]int
+	lanes := 0
+	for i := 0; i < 2*simeck.SlicedLanes; i++ {
+		j := firstRow + i
+		c := j % 2
+		y[i] = c
+		seeder.Seed(rw, uint64(j))
+		if c == 0 {
+			dst[i] = rw.Uint64() & 0xffffffff
+			continue
+		}
+		keyRows[lanes] = simeck.PackKeyRow(simeck.Key{rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16()})
+		ptRows[lanes] = simeck.PackBlockRow(simeck.Block{X: rw.Uint16(), Y: rw.Uint16()})
+		laneRow[lanes] = i
+		lanes++
+	}
+	var out [simeck.SlicedLanes]uint32
+	simeck.EncryptCrossDiffSliced64(&keyRows, s.KeyD, &ptRows, s.Delta, s.Rounds, &out)
+	for l := 0; l < lanes; l++ {
+		dst[laneRow[l]] = uint64(out[l])
+	}
+}
+
 // ChaskeyScenario distinguishes the round-reduced Chaskey permutation
 // from random, the same treatment the gimli scenarios give their
 // permutation: class 1 permutes a random state pair differing by Delta
@@ -317,10 +389,49 @@ func (s *ChaskeyScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 	dst[1] = uint64(a[2]^b[2]) | uint64(a[3]^b[3])<<32
 }
 
+// SliceRows returns the bitsliced window: 64 permutation lanes plus
+// their interleaved class-0 rows.
+func (s *ChaskeyScenario) SliceRows() int { return 2 * chaskey.SlicedLanes }
+
+// SampleSlice fills one 128-row window through the ×64 sliced kernel.
+// A Chaskey row is two packed words, so dst is indexed at 2× the row;
+// the kernel's (lo, hi) packed-row layout is exactly SampleBatch's
+// dst[0]/dst[1] layout.
+func (s *ChaskeyScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	seeder := prng.NewStreamSeeder(base)
+	var loRows, hiRows [chaskey.SlicedLanes]uint64
+	var laneRow [chaskey.SlicedLanes]int
+	lanes := 0
+	for i := 0; i < 2*chaskey.SlicedLanes; i++ {
+		j := firstRow + i
+		c := j % 2
+		y[i] = c
+		seeder.Seed(rw, uint64(j))
+		if c == 0 {
+			dst[2*i] = rw.Uint64()
+			dst[2*i+1] = rw.Uint64()
+			continue
+		}
+		v := chaskey.State{rw.Uint32(), rw.Uint32(), rw.Uint32(), rw.Uint32()}
+		loRows[lanes], hiRows[lanes] = chaskey.PackStateRows(v)
+		laneRow[lanes] = i
+		lanes++
+	}
+	var outLo, outHi [chaskey.SlicedLanes]uint64
+	chaskey.PermuteDiffSliced64(&loRows, &hiRows, s.Delta, s.Rounds, &outLo, &outHi)
+	for l := 0; l < lanes; l++ {
+		dst[2*laneRow[l]] = outLo[l]
+		dst[2*laneRow[l]+1] = outHi[l]
+	}
+}
+
 // Compile-time checks that the sweep scenarios stay wired to their
 // fast-path and related-key contracts.
 var (
 	_ RelatedKeyScenario = (*SimonScenario)(nil)
 	_ RelatedKeyScenario = (*SimeckScenario)(nil)
 	_ BatchScenario      = (*ChaskeyScenario)(nil)
+	_ SliceScenario      = (*SimonScenario)(nil)
+	_ SliceScenario      = (*SimeckScenario)(nil)
+	_ SliceScenario      = (*ChaskeyScenario)(nil)
 )

@@ -78,7 +78,7 @@ type batchOnly struct{ BatchScenario }
 type pairOnly struct{ PairScenario }
 
 // TestGenerateDatasetFastPathIdentity: the engine's wide fast paths —
-// the 256-row bitsliced SPECK windows and the 4-row GIMLI quads — must
+// the bitsliced cipher windows and the 4-row GIMLI quads — must
 // produce datasets byte-identical to the narrow per-row path, at every
 // worker count. perClass is ≥ 128 so the slice path really runs, and
 // odd so shard boundaries cut windows into remainders.
@@ -96,6 +96,30 @@ func TestGenerateDatasetFastPathIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	simon, err := NewSimonScenario(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simonRK, err := NewSimonRKScenario(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simeck, err := NewSimeckScenario(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simeckRK, err := NewSimeckRKScenario(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chas, err := NewChaskeyScenario(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gift64, err := NewGift64Scenario(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name   string
 		wide   Scenario
@@ -105,6 +129,12 @@ func TestGenerateDatasetFastPathIdentity(t *testing.T) {
 		{"gimli-hash-quad-vs-pair", hash, pairOnly{hash}},
 		{"gimli-hash-quad-vs-batch", hash, batchOnly{hash}},
 		{"gimli-cipher-quad-vs-pair", cipher, pairOnly{cipher}},
+		{"simon-slice-vs-batch", simon, batchOnly{simon}},
+		{"simon-rk-slice-vs-batch", simonRK, batchOnly{simonRK}},
+		{"simeck-slice-vs-batch", simeck, batchOnly{simeck}},
+		{"simeck-rk-slice-vs-batch", simeckRK, batchOnly{simeckRK}},
+		{"chaskey-slice-vs-batch", chas, batchOnly{chas}},
+		{"gift64-slice-vs-batch", gift64, batchOnly{gift64}},
 	}
 	const perClass = 131 // 262 rows: one full slice window plus remainder
 	for _, c := range cases {

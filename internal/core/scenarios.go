@@ -343,6 +343,7 @@ func (s *SpeckScenario) SliceRows() int { return 2 * speck.SlicedLanes }
 // class-1 encryptions run in one EncryptDiffSliced128 call. A SPECK
 // row is one packed word, so dst is indexed by row.
 func (s *SpeckScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	seeder := prng.NewStreamSeeder(base)
 	var keyRows [speck.SlicedLanes]uint64
 	var ptRows [speck.SlicedLanes]uint32
 	var laneRow [speck.SlicedLanes]int
@@ -351,7 +352,7 @@ func (s *SpeckScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, ds
 		j := firstRow + i
 		c := j % 2
 		y[i] = c
-		rw.SeedStream(base, uint64(j))
+		seeder.Seed(rw, uint64(j))
 		if c == 0 {
 			dst[i] = rw.Uint64() & 0xffffffff
 			continue

@@ -86,8 +86,50 @@ func (s *Gift64Scenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 	dst[0] = c.EncryptRounds(p, s.Rounds) ^ c.EncryptRounds(p^s.Delta, s.Rounds)
 }
 
+// SliceRows returns the bitsliced window: 64 encryption lanes plus
+// their interleaved class-0 rows.
+func (s *Gift64Scenario) SliceRows() int { return 2 * gift.SlicedLanes64 }
+
+// SampleSlice fills one 128-row window through the ×64 bitsliced
+// differential kernel, replacing 128 table-driven scalar encryptions
+// (each paying a full 28-round schedule expansion) with one fused
+// plane walk. Row j draws from its positional substream exactly as
+// SampleBatch would: class 0 one word, class 1 eight 16-bit key words
+// then the plaintext word.
+func (s *Gift64Scenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	seeder := prng.NewStreamSeeder(base)
+	var keyLo, keyHi, ptRows [gift.SlicedLanes64]uint64
+	var laneRow [gift.SlicedLanes64]int
+	lanes := 0
+	for i := 0; i < 2*gift.SlicedLanes64; i++ {
+		j := firstRow + i
+		c := j % 2
+		y[i] = c
+		seeder.Seed(rw, uint64(j))
+		if c == 0 {
+			dst[i] = rw.Uint64()
+			continue
+		}
+		keyLo[lanes], keyHi[lanes] = gift.PackKeyRows([8]uint16{
+			rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16(),
+			rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16(),
+		})
+		ptRows[lanes] = rw.Uint64()
+		laneRow[lanes] = i
+		lanes++
+	}
+	var out [gift.SlicedLanes64]uint64
+	gift.EncryptDiffSliced64(&keyLo, &keyHi, &ptRows, s.Delta, s.Rounds, &out)
+	for l := 0; l < lanes; l++ {
+		dst[laneRow[l]] = out[l]
+	}
+}
+
 // Compile-time check that the packed fast path stays wired up.
-var _ BatchScenario = (*Gift64Scenario)(nil)
+var (
+	_ BatchScenario = (*Gift64Scenario)(nil)
+	_ SliceScenario = (*Gift64Scenario)(nil)
+)
 
 // NewSalsaScenario builds a t = 2 scenario over the round-reduced
 // Salsa20 core: the two input differences flip the least significant

@@ -1,0 +1,176 @@
+package gift
+
+// This file implements the bitsliced ×64 GIFT-64 kernels behind the
+// dataset-generation fast path. GIFT is the ideal bitslice target of
+// the cipher suite: SubCells becomes a 7-gate boolean circuit over the
+// four planes of every nibble (the same circuit for all 16 nibbles,
+// all 64 lanes per gate), PermBits — the expensive half of the scalar
+// round — vanishes into the writeback indices of that circuit, and
+// AddRoundKey is 32 plane XORs plus branchless constant complements.
+// The key schedule never computes anything: GIFT's rotation
+// k7‖…‖k0 ← (k1 ⋙ 2)‖(k0 ⋙ 12)‖k7‖…‖k2 only moves words around, so
+// the sliced schedule is bookkeeping over eight {plane group, rotation
+// offset} slots, with logical bit b of a word living in plane
+// g[(b+off)&15] and a ⋙ r costing off ← off + r. Bit-identity with
+// the scalar path is pinned by sliced_test.go for every round count.
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// SlicedLanes64 is the lane count of the GIFT-64 sliced kernels.
+const SlicedLanes64 = 64
+
+// PackKeyRows packs an 8-word GIFT-64 key (key[0] = k7 … key[7] = k0,
+// the word order NewCipher64 takes) into the two 64-bit lane rows the
+// sliced kernels consume.
+func PackKeyRows(k [8]uint16) (lo, hi uint64) {
+	lo = uint64(k[0]) | uint64(k[1])<<16 | uint64(k[2])<<32 | uint64(k[3])<<48
+	hi = uint64(k[4]) | uint64(k[5])<<16 | uint64(k[6])<<32 | uint64(k[7])<<48
+	return
+}
+
+// keySlot locates one schedule word: its 16 planes and the rotation
+// offset accumulated by the ⋙ 2 / ⋙ 12 steps it has passed through.
+type keySlot struct {
+	g   *[16]uint64
+	off uint
+}
+
+// keySlots views the two transposed key matrices as the eight schedule
+// word slots, PackKeyRows order.
+func keySlots(mkLo, mkHi *[64]uint64) [8]keySlot {
+	return [8]keySlot{
+		{(*[16]uint64)(mkLo[0:16]), 0},
+		{(*[16]uint64)(mkLo[16:32]), 0},
+		{(*[16]uint64)(mkLo[32:48]), 0},
+		{(*[16]uint64)(mkLo[48:64]), 0},
+		{(*[16]uint64)(mkHi[0:16]), 0},
+		{(*[16]uint64)(mkHi[16:32]), 0},
+		{(*[16]uint64)(mkHi[32:48]), 0},
+		{(*[16]uint64)(mkHi[48:64]), 0},
+	}
+}
+
+// subCellsPerm applies SubCells and PermBits to one state in plane
+// form: the GIFT S-box as a 7-gate circuit over each nibble's four
+// planes, with the bit permutation folded into the writeback indices —
+// output bit 4j+b of SubCells lands directly in plane perm64(4j+b).
+// The circuit is verified gate for gate against SBox by the tests.
+// ns must not alias s.
+func subCellsPerm(ns, s *[64]uint64) {
+	for j := 0; j < 16; j++ {
+		s0, s1, s2, s3 := s[4*j], s[4*j+1], s[4*j+2], s[4*j+3]
+		s1 ^= s0 & s2
+		s0 ^= s1 & s3
+		s2 ^= s0 | s1
+		s3 ^= s2
+		s1 ^= s3
+		s3 = ^s3
+		s2 ^= s0 & s1
+		ns[Perm64Table[4*j]] = s3
+		ns[Perm64Table[4*j+1]] = s1
+		ns[Perm64Table[4*j+2]] = s2
+		ns[Perm64Table[4*j+3]] = s0
+	}
+}
+
+// addRoundKeySliced XORs round material into a state's planes: U into
+// planes 4i+1 through its slot's offset rename, V into planes 4i, the
+// 6-bit round constant and the fixed top bit as plane complements.
+func addRoundKeySliced(sp *[64]uint64, u, v keySlot, rc byte) {
+	for i := uint(0); i < 16; i++ {
+		sp[4*i+1] ^= u.g[(i+u.off)&15]
+		sp[4*i] ^= v.g[(i+v.off)&15]
+	}
+	for j := uint(0); j < 6; j++ {
+		sp[4*j+3] ^= -uint64(rc >> j & 1)
+	}
+	sp[63] ^= ^uint64(0)
+}
+
+// encryptSlicedStates runs n rounds over one or two state plane sets
+// under one shared key schedule (the differential sampler's two states
+// use the same per-lane keys). Each states[i] is paired with its own
+// scratch buffer; the final planes are in states[i] on return.
+func encryptSlicedStates(slots *[8]keySlot, states, scratch []*[64]uint64, n int) {
+	state6 := byte(0)
+	for r := 0; r < n; r++ {
+		u, v := slots[6], slots[7]
+		state6 = (state6<<1 | (state6>>5^state6>>4^1)&1) & 0x3f
+		for i := range states {
+			subCellsPerm(scratch[i], states[i])
+			states[i], scratch[i] = scratch[i], states[i]
+			addRoundKeySliced(states[i], u, v, state6)
+		}
+		// Schedule rotation: pure slot movement, u and v re-enter at the
+		// bottom with their word rotations folded into the offsets.
+		copy(slots[2:], slots[:6])
+		slots[0] = keySlot{u.g, (u.off + 2) & 15}
+		slots[1] = keySlot{v.g, (v.off + 12) & 15}
+	}
+}
+
+// EncryptSliced64 encrypts 64 lanes, each under its own key, through
+// the first n GIFT-64 rounds — the sliced form of EncryptRounds.
+// Inputs arrive as packed lane rows (PackKeyRows and the plain 64-bit
+// state word); neither input array is modified.
+func EncryptSliced64(keyLoRows, keyHiRows, ptRows *[64]uint64, n int, out *[64]uint64) {
+	if n < 0 || n > Rounds64 {
+		panic(fmt.Sprintf("gift: invalid GIFT-64 round count %d", n))
+	}
+	mkLo, mkHi := *keyLoRows, *keyHiRows
+	bits.Transpose64(&mkLo)
+	bits.Transpose64(&mkHi)
+	slots := keySlots(&mkLo, &mkHi)
+
+	sa := *ptRows
+	bits.Transpose64(&sa)
+	var ta [64]uint64
+	sts := []*[64]uint64{&sa}
+	encryptSlicedStates(&slots, sts, []*[64]uint64{&ta}, n)
+
+	res := *sts[0]
+	bits.Transpose64(&res)
+	*out = res
+}
+
+// EncryptDiffSliced64 is the fused differential-sampler kernel: for
+// each lane l it computes
+//
+//	EncryptRounds(p[l], n) ⊕ EncryptRounds(p[l] ⊕ delta, n)
+//
+// under lane l's own key, with one shared schedule walk for both
+// states. Neither input array is modified.
+func EncryptDiffSliced64(keyLoRows, keyHiRows, ptRows *[64]uint64, delta uint64, n int, out *[64]uint64) {
+	if n < 0 || n > Rounds64 {
+		panic(fmt.Sprintf("gift: invalid GIFT-64 round count %d", n))
+	}
+	mkLo, mkHi := *keyLoRows, *keyHiRows
+	bits.Transpose64(&mkLo)
+	bits.Transpose64(&mkHi)
+	slots := keySlots(&mkLo, &mkHi)
+
+	// State lanes → planes; the δ-partner is the same matrix with the
+	// planes where delta has a 1 complemented.
+	sa := *ptRows
+	bits.Transpose64(&sa)
+	sb := sa
+	for i := uint(0); i < 64; i++ {
+		sb[i] ^= -(delta >> i & 1)
+	}
+	var ta, tb [64]uint64
+	pa, pb := &sa, &sb
+	sts := []*[64]uint64{pa, pb}
+	encryptSlicedStates(&slots, sts, []*[64]uint64{&ta, &tb}, n)
+
+	// Output difference, planes → lanes (Transpose64 is an involution).
+	var od [64]uint64
+	for i := 0; i < 64; i++ {
+		od[i] = sts[0][i] ^ sts[1][i]
+	}
+	bits.Transpose64(&od)
+	*out = od
+}

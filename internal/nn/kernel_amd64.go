@@ -83,6 +83,70 @@ func finishDotNT(arow, brow []float64, s *[4]float64, k4 int) float64 {
 	return v
 }
 
+// mulTNAccRangeAccel accumulates output rows [lo, hi) of Aᵀ·B with the
+// vector axpy kernels — the backward pass's weight-gradient product.
+// Output row i accumulates b's sample rows weighted by column i of a;
+// the scalar path takes the nonzero weights in ascending sample order
+// with one rounding each, so the accel scans the (strided) column for
+// nonzeros and applies them in pairs through axpy2AVX2, whose two
+// separate roundings per element reproduce that chain exactly. Sample
+// rows are walked in mulKBlock panels so the reused b panel stays
+// cache-resident across all output rows; panel order preserves the
+// global ascending-sample chain. ReLU-sparse activation gradients make
+// the zero-skip the common case, exactly as in mulRangeAccel.
+func mulTNAccRangeAccel(acc []float64, a, b *Matrix, lo, hi int) bool {
+	if !useMulAVX2 {
+		return false
+	}
+	m := b.Cols
+	m4 := m &^ 3
+	stride := a.Cols
+	for nb := 0; nb < a.Rows; nb += mulKBlock {
+		ne := nb + mulKBlock
+		if ne > a.Rows {
+			ne = a.Rows
+		}
+		for i := lo; i < hi; i++ {
+			orow := acc[i*m : (i+1)*m]
+			n := nb
+			for {
+				for n < ne && a.Data[n*stride+i] == 0 {
+					n++
+				}
+				if n == ne {
+					break
+				}
+				av0 := a.Data[n*stride+i]
+				b0 := b.Data[n*m : (n+1)*m]
+				n++
+				for n < ne && a.Data[n*stride+i] == 0 {
+					n++
+				}
+				if n == ne {
+					if m4 > 0 {
+						axpy1AVX2(&orow[0], &b0[0], av0, m4)
+					}
+					for j := m4; j < m; j++ {
+						orow[j] += av0 * b0[j]
+					}
+					break
+				}
+				av1 := a.Data[n*stride+i]
+				b1 := b.Data[n*m : (n+1)*m]
+				n++
+				if m4 > 0 {
+					axpy2AVX2(&orow[0], &b0[0], &b1[0], av0, av1, m4)
+				}
+				for j := m4; j < m; j++ {
+					t := orow[j] + av0*b0[j]
+					orow[j] = t + av1*b1[j]
+				}
+			}
+		}
+	}
+	return true
+}
+
 // mulRangeAccel accumulates rows [lo, hi) of A·B with the vector axpy
 // kernels: nonzero A entries of each k-block are taken in ascending
 // order and applied in pairs, so every output element sees the same

@@ -53,6 +53,53 @@ func TestMulNTAVX2BitIdentical(t *testing.T) {
 	}
 }
 
+// TestMulTNAVX2BitIdentical: the vector axpy MulTN kernel — the
+// backward pass's weight-gradient product — must match the scalar
+// zero-skip kernel to the last bit, including when the activation
+// gradient A is ReLU-sparse (odd runs of zeros in a *column* exercise
+// the strided pair/single split) and when n crosses the panel size.
+func TestMulTNAVX2BitIdentical(t *testing.T) {
+	if !useMulAVX2 {
+		t.Skip("no AVX2")
+	}
+	r := prng.New(0x51d0)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 2}, {3, 5, 7}, {300, 4, 6}, {257, 5, 131}, {1024, 2, 9}}
+	for trial := 0; trial < 12; trial++ {
+		shapes = append(shapes, [3]int{1 + r.Intn(300), 1 + r.Intn(9), 1 + r.Intn(140)})
+	}
+	for _, sh := range shapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a := randMatrix(r, n, k)
+		for i := range a.Data {
+			if r.Intn(2) == 0 {
+				a.Data[i] = 0
+			}
+		}
+		b := randMatrix(r, n, m)
+		got := MulTN(a, b)
+		var want *Matrix
+		forceScalarMul(func() { want = MulTN(a, b) })
+		matricesBitIdentical(t, "MulTN", got, want)
+	}
+}
+
+// TestMulTNAccAVX2Accumulates: MulTNAcc adds into a live gradient
+// buffer; the accel must preserve the accumulate-in-place contract
+// bit for bit, not overwrite.
+func TestMulTNAccAVX2Accumulates(t *testing.T) {
+	if !useMulAVX2 {
+		t.Skip("no AVX2")
+	}
+	r := prng.New(0x51d1)
+	a := randMatrix(r, 37, 5)
+	b := randMatrix(r, 37, 11)
+	got := randMatrix(r, 5, 11)
+	want := got.Clone()
+	MulTNAcc(got.Data, a, b)
+	forceScalarMul(func() { MulTNAcc(want.Data, a, b) })
+	matricesBitIdentical(t, "MulTNAcc", got, want)
+}
+
 // TestMulAVX2BitIdentical: the vector axpy MulInto kernel must match
 // the scalar zero-skip kernel to the last bit, including when A is
 // sparse (odd runs of zeros exercise the pair/single split).

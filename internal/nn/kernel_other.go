@@ -8,3 +8,6 @@ func mulNTRangeAccel(out, a, b *Matrix, lo, hi int) bool { return false }
 
 // mulRangeAccel has no accelerated implementation off amd64.
 func mulRangeAccel(out, a, b *Matrix, lo, hi int) bool { return false }
+
+// mulTNAccRangeAccel has no accelerated implementation off amd64.
+func mulTNAccRangeAccel(acc []float64, a, b *Matrix, lo, hi int) bool { return false }

@@ -284,6 +284,9 @@ func checkMulTN(acc []float64, a, b *Matrix) {
 // order. Rows of the accumulator stay hot across the sweep and the
 // zero-skip on A entries keeps the 0/1 difference-bit inputs cheap.
 func mulTNAccRange(acc []float64, a, b *Matrix, lo, hi int) {
+	if mulTNAccRangeAccel(acc, a, b, lo, hi) {
+		return
+	}
 	for n := 0; n < a.Rows; n++ {
 		arow := a.Data[n*a.Cols : (n+1)*a.Cols]
 		brow := b.Data[n*b.Cols : (n+1)*b.Cols]

@@ -272,3 +272,37 @@ func TestNewStreamUniformity(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamSeederMatchesSeedStream(t *testing.T) {
+	// The seeder hoists the seed half of the mixing chain; the state it
+	// produces must be indistinguishable from a fresh SeedStream for
+	// every stream, including stream values that trip the zero guard's
+	// code path (the guard itself is unreachable for real mixes, but
+	// the seeder must share SeedStream's exact branch structure).
+	for _, seed := range []uint64{0, 1, 99, 0xdeadbeefcafef00d} {
+		ss := NewStreamSeeder(seed)
+		var r Rand
+		for stream := uint64(0); stream < 64; stream++ {
+			ss.Seed(&r, stream)
+			want := NewStream(seed, stream)
+			for i := 0; i < 8; i++ {
+				if a, b := r.Uint64(), want.Uint64(); a != b {
+					t.Fatalf("seed %d stream %d: seeder state differs from SeedStream at draw %d", seed, stream, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamSeederOverwritesPriorState(t *testing.T) {
+	ss := NewStreamSeeder(99)
+	r := New(7)
+	_ = r.Uint64()
+	ss.Seed(r, 17)
+	want := NewStream(99, 17)
+	for i := 0; i < 32; i++ {
+		if a, b := r.Uint64(), want.Uint64(); a != b {
+			t.Fatalf("seeder left prior state visible at draw %d", i)
+		}
+	}
+}

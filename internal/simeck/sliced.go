@@ -1,0 +1,160 @@
+package simeck
+
+// This file implements the bitsliced ×64 SIMECK-32/64 differential
+// kernels behind the dataset-generation fast path — the SIMON sliced
+// architecture with SIMECK's round map
+//
+//	x, y ← y ⊕ f(x) ⊕ k, x     with f(x) = (x & x⋘5) ⊕ x⋘1
+//
+// and its schedule, which applies the same f to the key registers:
+// (k, t0, t1, t2) ← (t0, t1, t2, k ⊕ f(t0) ⊕ 0xfffc ⊕ z). In plane
+// form the register file is four plane groups inside the transposed
+// key matrix rotating by pointer, the new t2 overwrites the old k
+// group in place, and the LFSR constant is a branchless plane
+// complement shared by every lane. Bit-identity with the scalar path
+// is pinned by sliced_test.go for every round count, difference and
+// key difference.
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// SlicedLanes is the lane count of the sliced kernels.
+const SlicedLanes = 64
+
+// PackKeyRow packs the 4-word key (t2, t1, t0, k0) — the word order New
+// takes — into the 64-bit lane row the sliced kernels consume.
+func PackKeyRow(k Key) uint64 {
+	return uint64(k[0]) | uint64(k[1])<<16 | uint64(k[2])<<32 | uint64(k[3])<<48
+}
+
+// PackBlockRow packs a block into the X ‖ Y<<16 lane row the sliced
+// kernels consume — the packed-row bit layout the SIMECK scenario
+// datasets use.
+func PackBlockRow(b Block) uint32 { return uint32(b.X) | uint32(b.Y)<<16 }
+
+// EncryptDiffSliced64 is the fused single-key differential-sampler
+// kernel: for each lane l it computes
+//
+//	EncryptRounds(p[l], n) ⊕ EncryptRounds(p[l] ⊕ delta, n)
+//
+// under lane l's own key schedule, returning the 64 output differences
+// as X ‖ Y<<16 words. Neither input array is modified.
+func EncryptDiffSliced64(keyRows *[64]uint64, ptRows *[64]uint32, delta Block, n int, out *[64]uint32) {
+	if n < 0 || n > Rounds {
+		panic(fmt.Sprintf("simeck: invalid round count %d", n))
+	}
+	encryptDiffSliced(keyRows, Key{}, ptRows, delta, n, out)
+}
+
+// EncryptCrossDiffSliced64 is the related-key variant: lane l's second
+// state is encrypted under K[l] ⊕ keyDelta, with a full second schedule
+// chain derived from the complemented key planes — the sliced form of
+// EncryptCrossPairRounds. keyDelta zero degenerates to the single-key
+// kernel (one shared schedule chain).
+func EncryptCrossDiffSliced64(keyRows *[64]uint64, keyDelta Key, ptRows *[64]uint32, delta Block, n int, out *[64]uint32) {
+	if n < 0 || n > Rounds {
+		panic(fmt.Sprintf("simeck: invalid round count %d", n))
+	}
+	encryptDiffSliced(keyRows, keyDelta, ptRows, delta, n, out)
+}
+
+// keyRegs views a transposed 64×64 key matrix as the schedule's
+// register file (k, t0, t1, t2): PackKeyRow puts key[3] = k0 in the
+// top plane group and key[0] = t2 in the bottom one.
+func keyRegs(m *[64]uint64) [4]*[16]uint64 {
+	return [4]*[16]uint64{
+		(*[16]uint64)(m[48:64]), // k  = key[3]
+		(*[16]uint64)(m[32:48]), // t0 = key[2]
+		(*[16]uint64)(m[16:32]), // t1 = key[1]
+		(*[16]uint64)(m[0:16]),  // t2 = key[0]
+	}
+}
+
+// schedStep advances the register file one round: the old k group is
+// overwritten in place with k ⊕ f(t0) ⊕ 0xfffc ⊕ z (each plane reads
+// itself only at its own index, so no copy is needed) and the pointers
+// rotate. z is the round's LFSR bit as an all-ones/zero mask.
+func schedStep(regs *[4]*[16]uint64, z uint64) {
+	k, t0 := regs[0], regs[1]
+	k[0] ^= (t0[0] & t0[11]) ^ t0[15] ^ z
+	k[1] ^= (t0[1] & t0[12]) ^ t0[0]
+	for b := uint(2); b < 16; b++ {
+		k[b] ^= ^((t0[b] & t0[(b-5)&15]) ^ t0[b-1])
+	}
+	regs[0], regs[1], regs[2], regs[3] = regs[1], regs[2], regs[3], regs[0]
+}
+
+// feistelRound advances one state by one round in plane form: nx =
+// y ⊕ (x & x⋘5) ⊕ x⋘1 ⊕ rk, and y becomes the old x in place.
+// Callers then swap x and nx. nx must not alias x or y.
+func feistelRound(nx, x, y, rk *[16]uint64) {
+	for i := uint(0); i < 16; i++ {
+		nx[i] = y[i] ^ (x[i] & x[(i-5)&15]) ^ x[(i-1)&15] ^ rk[i]
+		y[i] = x[i]
+	}
+}
+
+func encryptDiffSliced(keyRows *[64]uint64, keyDelta Key, ptRows *[64]uint32, delta Block, n int, out *[64]uint32) {
+	// Key matrix → planes, register file viewed in place.
+	ma := *keyRows
+	bits.Transpose64(&ma)
+	ra := keyRegs(&ma)
+	// rb must point AT ra when the key is shared — schedStep rotates
+	// the register array, so a copy of it would go stale after round 0.
+	rb := &ra
+	var mb [64]uint64
+	var rbOwn [4]*[16]uint64
+	sameKey := keyDelta.IsZero()
+	if !sameKey {
+		mb = ma
+		for w := 0; w < KeyWords; w++ {
+			for b := uint(0); b < 16; b++ {
+				mb[16*w+int(b)] ^= -uint64(keyDelta[w] >> b & 1)
+			}
+		}
+		rbOwn = keyRegs(&mb)
+		rb = &rbOwn
+	}
+
+	// Plaintext lanes → planes; the δ-partner differs by a complement
+	// of the planes where delta has a 1.
+	var mp [32]uint64
+	bits.TransposeRows32(ptRows, &mp)
+	var ta, xbb, ybb, tb [16]uint64
+	xa, ya := (*[16]uint64)(mp[0:16]), (*[16]uint64)(mp[16:32])
+	xb, yb := &xbb, &ybb
+	for i := uint(0); i < 16; i++ {
+		xb[i] = xa[i] ^ -uint64(delta.X>>i&1)
+		yb[i] = ya[i] ^ -uint64(delta.Y>>i&1)
+	}
+	na, nb := &ta, &tb
+
+	lfsr := uint16(0x1f) // 5-bit LFSR state, all-ones init, as in Expand
+	for r := 0; r < n; r++ {
+		feistelRound(na, xa, ya, ra[0])
+		feistelRound(nb, xb, yb, rb[0])
+		xa, na = na, xa
+		xb, nb = nb, xb
+		if r+1 < n {
+			z := lfsr & 1
+			lfsr = lfsr>>1 | (z^lfsr>>2&1)<<4 // x^5 + x^2 + 1
+			// The schedule constant 0xfffc ⊕ z: bit 0 carries z, bit 1
+			// is zero, bits 2…15 are ones — folded into schedStep.
+			schedStep(&ra, -uint64(z))
+			if !sameKey {
+				schedStep(rb, -uint64(z))
+			}
+		}
+	}
+
+	// Output difference, planes → lanes.
+	var od [32]uint64
+	for i := 0; i < 16; i++ {
+		od[i] = xa[i] ^ xb[i]
+		od[i+16] = ya[i] ^ yb[i]
+	}
+	bits.UntransposeRows32(&od, out)
+}

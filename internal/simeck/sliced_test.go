@@ -1,0 +1,152 @@
+// Tests for the bitsliced ×64 SIMECK kernels: bit-identity with the
+// scalar path is checked lane by lane, across random keys, random
+// plaintext and key differences, and every round count, so the dataset
+// fast path can trust the sliced kernels blindly.
+package simeck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/simeck"
+	"repro/internal/testkit"
+)
+
+// slicedCase is 64 independent (key, plaintext) lanes plus a round
+// count and a (δ, ∇) difference pair — one full kernel invocation.
+type slicedCase struct {
+	Keys   [64]simeck.Key
+	Blocks [64]simeck.Block
+	Delta  simeck.Block
+	KeyD   simeck.Key
+	Rounds int
+}
+
+// slicedCases generates random 64-lane inputs. Shrinking zeroes one
+// lane at a time so a failure reports the minimal set of live lanes.
+func slicedCases() testkit.Gen[slicedCase] {
+	return testkit.Gen[slicedCase]{
+		Name: "64-lane simeck case",
+		Generate: func(r *prng.Rand) slicedCase {
+			var c slicedCase
+			for l := range c.Keys {
+				for w := range c.Keys[l] {
+					c.Keys[l][w] = r.Uint16()
+				}
+				c.Blocks[l] = simeck.Block{X: r.Uint16(), Y: r.Uint16()}
+			}
+			c.Delta = simeck.Block{X: r.Uint16(), Y: r.Uint16()}
+			c.KeyD = simeck.Key{r.Uint16(), r.Uint16(), r.Uint16(), r.Uint16()}
+			c.Rounds = int(r.Uint64() % (simeck.Rounds + 1))
+			return c
+		},
+		Shrink: func(c slicedCase) []slicedCase {
+			var out []slicedCase
+			if c.Rounds > 0 {
+				d := c
+				d.Rounds--
+				out = append(out, d)
+			}
+			if !c.KeyD.IsZero() {
+				d := c
+				d.KeyD = simeck.Key{}
+				out = append(out, d)
+			}
+			for l := range c.Keys {
+				if c.Keys[l] != (simeck.Key{}) || c.Blocks[l] != (simeck.Block{}) {
+					d := c
+					d.Keys[l] = simeck.Key{}
+					d.Blocks[l] = simeck.Block{}
+					out = append(out, d)
+				}
+			}
+			return out
+		},
+		Format: func(c slicedCase) string {
+			return fmt.Sprintf("rounds=%d delta=%v keyD=%04x lane0 key=%04x block=%v",
+				c.Rounds, c.Delta, c.KeyD, c.Keys[0], c.Blocks[0])
+		},
+	}
+}
+
+// scalarDiff is the oracle: the per-lane output difference through the
+// scalar cross-key pair path, in the packed X ‖ Y<<16 row layout.
+func scalarDiff(k simeck.Key, p simeck.Block, delta simeck.Block, keyD simeck.Key, rounds int) uint32 {
+	var ca, cb simeck.Cipher
+	ca.Expand(k)
+	cb.Expand(k.XOR(keyD))
+	a, b := simeck.EncryptCrossPairRounds(&ca, &cb, p, p.XOR(delta), rounds)
+	d := a.XOR(b)
+	return uint32(d.X) | uint32(d.Y)<<16
+}
+
+// TestEncryptDiffSliced64 pins the single-key kernel lane for lane
+// against the scalar pair path.
+func TestEncryptDiffSliced64(t *testing.T) {
+	testkit.Check(t, "simeck-sliced-diff", slicedCases(), func(c slicedCase) error {
+		var keyRows [64]uint64
+		var ptRows [64]uint32
+		for l := 0; l < 64; l++ {
+			keyRows[l] = simeck.PackKeyRow(c.Keys[l])
+			ptRows[l] = simeck.PackBlockRow(c.Blocks[l])
+		}
+		var out [64]uint32
+		simeck.EncryptDiffSliced64(&keyRows, &ptRows, c.Delta, c.Rounds, &out)
+		for l := 0; l < 64; l++ {
+			want := scalarDiff(c.Keys[l], c.Blocks[l], c.Delta, simeck.Key{}, c.Rounds)
+			if out[l] != want {
+				return fmt.Errorf("lane %d over %d rounds: diff %08x vs scalar %08x", l, c.Rounds, out[l], want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestEncryptCrossDiffSliced64 pins the related-key kernel — two full
+// schedule chains — against the scalar cross-key pair path, including
+// the ∇ = 0 degeneration.
+func TestEncryptCrossDiffSliced64(t *testing.T) {
+	testkit.Check(t, "simeck-sliced-cross-diff", slicedCases(), func(c slicedCase) error {
+		var keyRows [64]uint64
+		var ptRows [64]uint32
+		for l := 0; l < 64; l++ {
+			keyRows[l] = simeck.PackKeyRow(c.Keys[l])
+			ptRows[l] = simeck.PackBlockRow(c.Blocks[l])
+		}
+		var out [64]uint32
+		simeck.EncryptCrossDiffSliced64(&keyRows, c.KeyD, &ptRows, c.Delta, c.Rounds, &out)
+		for l := 0; l < 64; l++ {
+			want := scalarDiff(c.Keys[l], c.Blocks[l], c.Delta, c.KeyD, c.Rounds)
+			if out[l] != want {
+				return fmt.Errorf("lane %d over %d rounds ∇=%04x: diff %08x vs scalar %08x",
+					l, c.Rounds, c.KeyD, out[l], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestEncryptDiffSliced64RangeCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncryptDiffSliced64 accepted 33 rounds")
+		}
+	}()
+	var keyRows [64]uint64
+	var ptRows [64]uint32
+	var out [64]uint32
+	simeck.EncryptDiffSliced64(&keyRows, &ptRows, simeck.NDDelta, simeck.Rounds+1, &out)
+}
+
+func TestEncryptCrossDiffSliced64RangeCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncryptCrossDiffSliced64 accepted -1 rounds")
+		}
+	}()
+	var keyRows [64]uint64
+	var ptRows [64]uint32
+	var out [64]uint32
+	simeck.EncryptCrossDiffSliced64(&keyRows, simeck.LuKeyDelta, &ptRows, simeck.NDDelta, -1, &out)
+}

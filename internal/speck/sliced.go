@@ -84,21 +84,6 @@ type Sliced64 struct {
 	rk [Rounds][16]uint64
 }
 
-// addPlanes16 computes the 16-bit modular sum a+b in plane form via a
-// ripple-carry chain, writing into dst (which may alias neither input).
-// rotA renames a's plane indices so that dst = RotR16(a, rotA) + b
-// without a separate rotation pass.
-func addPlanes16(dst *[16]uint64, a *[16]uint64, rotA uint, b *[16]uint64) {
-	var c uint64
-	for i := uint(0); i < 16; i++ {
-		av := a[(i+rotA)&15]
-		bv := b[i]
-		s := av ^ bv
-		dst[i] = s ^ c
-		c = (av & bv) | (c & s)
-	}
-}
-
 // Expand computes the 64 full key schedules for keys[l] =
 // (l2, l1, l0, k0), the same word order New takes.
 func (s *Sliced64) Expand(keys *[64][4]uint16) { s.ExpandRounds(keys, Rounds) }
@@ -163,9 +148,10 @@ func (s *Sliced64) EncryptRounds(st *SlicedState, n int) {
 	}
 	for r := 0; r < n; r++ {
 		rk := &s.rk[r]
-		// x ← (x ⋙ alpha + y) ⊕ k
+		// x ← (x ⋙ alpha + y) ⊕ k; the ripple-carry chain lives in
+		// internal/bits so the Chaskey kernel shares one implementation.
 		var nx [16]uint64
-		addPlanes16(&nx, &st.X, alpha, &st.Y)
+		bits.AddPlanes16(&nx, &st.X, alpha, &st.Y)
 		for i := 0; i < 16; i++ {
 			nx[i] ^= rk[i]
 		}

@@ -15,7 +15,12 @@
 #
 # Environment knobs:
 #   BENCH_DATE=YYYYMMDD  snapshot stamp (default: today)
-#   BENCH_TIME=<n>x|<t>s benchtime passed to go test (default 3x)
+#   BENCH_TIME=<n>x|<t>s benchtime passed to go test (default 1s —
+#                        fixed tiny iteration counts quantize the
+#                        ns-scale kernel benchmarks and skew per-op
+#                        allocation amortization, making snapshots
+#                        incomparable; use 3x only for a quick
+#                        uncommitted look)
 #   BENCH_COUNT=<n>      repeats per benchmark (default 3)
 #   BENCH_MP=<n>         GOMAXPROCS for the scaling pass (default 4;
 #                        0 skips the pass)
@@ -24,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 DATE="${BENCH_DATE:-$(date +%Y%m%d)}"
 OUT="BENCH_${DATE}.json"
-BENCHTIME="${BENCH_TIME:-3x}"
+BENCHTIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 MP="${BENCH_MP:-4}"
 
@@ -37,13 +42,13 @@ trap 'rm -f "$TMP"' EXIT
 # Root package: dataset generation, batched inference, matrix kernels.
 # internal/nn: the training engine (BenchmarkFit) and kernel micro-benchmarks.
 # internal/gimli + internal/speck + internal/simon + internal/simeck +
-# internal/chaskey: the scalar and interleaved cipher kernels behind
-# the packed dataset fast path.
+# internal/chaskey + internal/gift: the scalar, interleaved and ×64
+# bitsliced cipher kernels behind the packed dataset fast path.
 # internal/serve: the full HTTP classify path through the
 # micro-batching scheduler (BenchmarkServeClassify).
 go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ ./internal/simon/ \
-    ./internal/simeck/ ./internal/chaskey/ ./internal/serve/ -run '^$' \
-    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|ServeClassify' \
+    ./internal/simeck/ ./internal/chaskey/ ./internal/gift/ ./internal/serve/ -run '^$' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|Gift64Encrypt|ServeClassify' \
     -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$TMP"
 
 # Scaling pass: the sharded hot paths again at GOMAXPROCS>1.
