@@ -2,38 +2,11 @@
 
 package bits
 
-// AVX2 feature detection for the SIMD transpose and cipher kernels.
-// The build targets GOAMD64=v1, so vector paths are gated at runtime:
-// AVX2 requires the CPUID AVX2 bit plus OS support for saving YMM
-// state (OSXSAVE set and XCR0 enabling both XMM and YMM).
+import "repro/internal/cpu"
 
-// cpuidex executes CPUID with the given leaf and subleaf.
-func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-
-// xgetbv0 reads extended control register XCR0.
-func xgetbv0() (eax, edx uint32)
-
-var hasAVX2 = detectAVX2()
-
-func detectAVX2() bool {
-	maxID, _, _, _ := cpuidex(0, 0)
-	if maxID < 7 {
-		return false
-	}
-	_, _, c1, _ := cpuidex(1, 0)
-	const (
-		osxsaveBit = 1 << 27
-		avxBit     = 1 << 28
-	)
-	if c1&osxsaveBit == 0 || c1&avxBit == 0 {
-		return false
-	}
-	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state enabled by the OS
-		return false
-	}
-	_, b7, _, _ := cpuidex(7, 0)
-	return b7&(1<<5) != 0 // AVX2
-}
+// AVX2 detection lives in internal/cpu (a leaf package shared with
+// the prng and nn kernels); bits keeps its exported accessor.
+var hasAVX2 = cpu.HasAVX2()
 
 // HasAVX2 reports whether the running CPU and OS support AVX2; the
 // bitsliced cipher kernels use it to pick their vector paths.

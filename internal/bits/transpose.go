@@ -105,6 +105,22 @@ func TransposeRows32(rows *[64]uint32, planes *[32]uint64) {
 	transposeStages(planes)
 }
 
+// TransposeTop16Pair transposes the top 16 bits of each lane of two
+// draw columns into 32 bit-planes: for j < 16, bit l of planes[j] is
+// bit j of uint16(a[l]>>48), and bit l of planes[16+j] is bit j of
+// uint16(b[l]>>48). A Rand.Uint16 draw is the top 16 bits of one
+// Uint64 output, so this turns two column-major prng.DrawWords64
+// columns directly into the 16-bit half-block plane pair the bitsliced
+// cipher kernels consume. Like TransposeRows32 it folds the w=32
+// butterfly stage into the packing loop; the top-16 extraction rides
+// along for free.
+func TransposeTop16Pair(a, b *[64]uint64, planes *[32]uint64) {
+	for k := 0; k < 32; k++ {
+		planes[k] = a[k]>>48 | (b[k]>>48)<<16 | (a[k+32]>>48)<<32 | (b[k+32]>>48)<<48
+	}
+	transposeStages(planes)
+}
+
 // UntransposeRows32 inverts TransposeRows32: bit j of rows[l] is bit l
 // of planes[j]. Because the butterfly stages commute, the w=16 … w=1
 // stages run first on the single live half and the w=32 stage becomes

@@ -110,6 +110,29 @@ func TestTransposeRows32MatchesFull(t *testing.T) {
 	})
 }
 
+// TestTransposeTop16Pair: packing the top 16 bits of two draw columns
+// into a 32-bit row and running TransposeRows32 is the definition; the
+// fused helper must match it.
+func TestTransposeTop16Pair(t *testing.T) {
+	testkit.Check(t, "transpose-top16-pair", bitMatrix(), func(m [64]uint64) error {
+		var b [64]uint64
+		for i := range b {
+			b[i] = m[i]*0x9e3779b97f4a7c15 + 1 // a second, distinct column
+		}
+		var rows [64]uint32
+		for l := range rows {
+			rows[l] = uint32(m[l]>>48) | uint32(b[l]>>48)<<16
+		}
+		var want, got [32]uint64
+		bits.TransposeRows32(&rows, &want)
+		bits.TransposeTop16Pair(&m, &b, &got)
+		if got != want {
+			return fmt.Errorf("fused top16 transpose differs from pack+TransposeRows32")
+		}
+		return nil
+	})
+}
+
 // TestTranspose64Basis pins the convention on unit vectors: a single
 // bit at (i, j) must land at (j, i).
 func TestTranspose64Basis(t *testing.T) {

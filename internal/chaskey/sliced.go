@@ -51,6 +51,54 @@ func PermuteDiffSliced64(loRows, hiRows *[64]uint64, delta State, n int, outLo, 
 	permuteDiffPlanes(loRows, hiRows, delta, n, outLo, outHi)
 }
 
+// PermuteDiffWords64 is PermuteDiffSliced64 for callers that hold the
+// states word-sliced: words[w][l] is state word v_w of lane l. This is
+// the layout the AVX2 kernel walks natively — the batched-draw sampler
+// builds it straight from column-major PRNG draws, so the vector path
+// runs without any per-lane row split — and the bit-plane fallback is
+// one TransposeRows32 per word group away. words is clobbered.
+func PermuteDiffWords64(words *[4][64]uint32, delta State, n int, outLo, outHi *[64]uint64) {
+	if n < 0 || n > LTSRounds {
+		panic(fmt.Sprintf("chaskey: invalid round count %d", n))
+	}
+	if permuteDiffWordsAccel(words, delta, n, outLo, outHi) {
+		return
+	}
+	var maLo, maHi [64]uint64
+	bits.TransposeRows32(&words[0], (*[32]uint64)(maLo[0:32]))
+	bits.TransposeRows32(&words[1], (*[32]uint64)(maLo[32:64]))
+	bits.TransposeRows32(&words[2], (*[32]uint64)(maHi[0:32]))
+	bits.TransposeRows32(&words[3], (*[32]uint64)(maHi[32:64]))
+	permuteDiffPlanesCore(&maLo, &maHi, delta, n, outLo, outHi)
+}
+
+// PermuteDiffDrawCols64 is PermuteDiffWords64 for callers holding the
+// raw column-major batch draws: cols[w*64+l] is a full Uint64 generator
+// output whose top 32 bits are state word v_w of lane l (a positional
+// Uint32 draw is Uint64 >> 32). Folding the truncation into the
+// kernel's own lane split saves the batched-draw sampler a separate
+// conversion pass over the draw buffer. cols is not modified.
+func PermuteDiffDrawCols64(cols *[4 * SlicedLanes]uint64, delta State, n int, outLo, outHi *[64]uint64) {
+	if n < 0 || n > LTSRounds {
+		panic(fmt.Sprintf("chaskey: invalid round count %d", n))
+	}
+	if permuteDiffColsAccel(cols, delta, n, outLo, outHi) {
+		return
+	}
+	var words [4][SlicedLanes]uint32
+	for w := 0; w < 4; w++ {
+		for l := 0; l < SlicedLanes; l++ {
+			words[w][l] = uint32(cols[w*SlicedLanes+l] >> 32)
+		}
+	}
+	var maLo, maHi [64]uint64
+	bits.TransposeRows32(&words[0], (*[32]uint64)(maLo[0:32]))
+	bits.TransposeRows32(&words[1], (*[32]uint64)(maLo[32:64]))
+	bits.TransposeRows32(&words[2], (*[32]uint64)(maHi[0:32]))
+	bits.TransposeRows32(&words[3], (*[32]uint64)(maHi[32:64]))
+	permuteDiffPlanesCore(&maLo, &maHi, delta, n, outLo, outHi)
+}
+
 // slicedState is one δ-partner state in plane form: four word plane
 // groups, each word's accumulated rotation offset, and two spare plane
 // buffers the adder ping-pongs v0 and v2 through (v1 and v3 are only
@@ -125,12 +173,21 @@ func viewState(lo, hi *[64]uint64, t0, t2 *[32]uint64) slicedState {
 }
 
 func permuteDiffPlanes(loRows, hiRows *[64]uint64, delta State, n int, outLo, outHi *[64]uint64) {
-	// Lane rows → planes; the δ-partner is the same matrix with the
-	// planes where delta has a 1 complemented.
+	// Lane rows → planes, then the plane-form core.
 	maLo, maHi := *loRows, *hiRows
 	bits.Transpose64(&maLo)
 	bits.Transpose64(&maHi)
-	mbLo, mbHi := maLo, maHi
+	permuteDiffPlanesCore(&maLo, &maHi, delta, n, outLo, outHi)
+}
+
+// permuteDiffPlanesCore runs the differential permutation on states
+// already in plane form (maLo planes 0..31 = v0 bits, 32..63 = v1;
+// maHi likewise v2, v3). Both plane matrices are clobbered — they
+// become δ-partner a's working state.
+func permuteDiffPlanesCore(maLo, maHi *[64]uint64, delta State, n int, outLo, outHi *[64]uint64) {
+	// The δ-partner is the same matrix with the planes where delta has
+	// a 1 complemented.
+	mbLo, mbHi := *maLo, *maHi
 	for j := uint(0); j < 32; j++ {
 		mbLo[j] ^= -uint64(delta[0] >> j & 1)
 		mbLo[32+j] ^= -uint64(delta[1] >> j & 1)
@@ -139,7 +196,7 @@ func permuteDiffPlanes(loRows, hiRows *[64]uint64, delta State, n int, outLo, ou
 	}
 
 	var sa0, sa2, sb0, sb2 [32]uint64
-	a := viewState(&maLo, &maHi, &sa0, &sa2)
+	a := viewState(maLo, maHi, &sa0, &sa2)
 	b := viewState(&mbLo, &mbHi, &sb0, &sb2)
 	for r := 0; r < n; r++ {
 		a.round()

@@ -23,24 +23,60 @@ func permuteDiffAccel(loRows, hiRows *[64]uint64, delta State, n int, outLo, out
 	if !useChaskeyAVX2 {
 		return false
 	}
-	var va, vb [4][64]uint32
+	var words [4][64]uint32
 	for l := 0; l < 64; l++ {
 		lo, hi := loRows[l], hiRows[l]
-		va[0][l] = uint32(lo)
-		va[1][l] = uint32(lo >> 32)
-		va[2][l] = uint32(hi)
-		va[3][l] = uint32(hi >> 32)
+		words[0][l] = uint32(lo)
+		words[1][l] = uint32(lo >> 32)
+		words[2][l] = uint32(hi)
+		words[3][l] = uint32(hi >> 32)
 	}
+	return permuteDiffWordsAccel(&words, delta, n, outLo, outHi)
+}
+
+// permuteDiffColsAccel is the vector arm of PermuteDiffDrawCols64: the
+// >>32 truncation of the raw draws happens while building the δ-partner
+// pair, one pass over the draw buffer instead of two.
+func permuteDiffColsAccel(cols *[4 * SlicedLanes]uint64, delta State, n int, outLo, outHi *[64]uint64) bool {
+	if !useChaskeyAVX2 {
+		return false
+	}
+	var va, vb [4][64]uint32
 	for w := 0; w < 4; w++ {
 		d := delta[w]
-		for l := 0; l < 64; l++ {
-			vb[w][l] = va[w][l] ^ d
+		col := cols[w*SlicedLanes : (w+1)*SlicedLanes]
+		for l, raw := range col {
+			v := uint32(raw >> 32)
+			va[w][l] = v
+			vb[w][l] = v ^ d
 		}
 	}
 	permutePairAVX2(&va, &vb, n)
 	for l := 0; l < 64; l++ {
 		outLo[l] = uint64(va[0][l]^vb[0][l]) | uint64(va[1][l]^vb[1][l])<<32
 		outHi[l] = uint64(va[2][l]^vb[2][l]) | uint64(va[3][l]^vb[3][l])<<32
+	}
+	return true
+}
+
+// permuteDiffWordsAccel permutes words (in place — the caller's array
+// is clobbered) and its δ-partner and writes the packed output
+// difference rows.
+func permuteDiffWordsAccel(words *[4][64]uint32, delta State, n int, outLo, outHi *[64]uint64) bool {
+	if !useChaskeyAVX2 {
+		return false
+	}
+	var vb [4][64]uint32
+	for w := 0; w < 4; w++ {
+		d := delta[w]
+		for l := 0; l < 64; l++ {
+			vb[w][l] = words[w][l] ^ d
+		}
+	}
+	permutePairAVX2(words, &vb, n)
+	for l := 0; l < 64; l++ {
+		outLo[l] = uint64(words[0][l]^vb[0][l]) | uint64(words[1][l]^vb[1][l])<<32
+		outHi[l] = uint64(words[2][l]^vb[2][l]) | uint64(words[3][l]^vb[3][l])<<32
 	}
 	return true
 }

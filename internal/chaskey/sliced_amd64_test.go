@@ -43,5 +43,42 @@ func TestPermuteDiffSlicedAccelParity(t *testing.T) {
 					trial, l, n, accLo[l], accHi[l], planeLo[l], planeHi[l])
 			}
 		}
+
+		// The word-sliced entry has its own fallback (TransposeRows32
+		// into the plane core); force it and check against the AVX2 run.
+		var words [4][64]uint32
+		for l := 0; l < 64; l++ {
+			words[0][l] = uint32(loRows[l])
+			words[1][l] = uint32(loRows[l] >> 32)
+			words[2][l] = uint32(hiRows[l])
+			words[3][l] = uint32(hiRows[l] >> 32)
+		}
+		var wLo, wHi [64]uint64
+		PermuteDiffWords64(&words, delta, n, &wLo, &wHi)
+		if wLo != accLo || wHi != accHi {
+			t.Fatalf("trial %d over %d rounds: word-sliced fallback diverges from AVX2", trial, n)
+		}
+
+		// And the raw-draw-column entry, both arms: the state word sits
+		// in the top half of each column word, junk below.
+		var cols [4 * SlicedLanes]uint64
+		for l := 0; l < 64; l++ {
+			cols[0*64+l] = loRows[l]<<32 | uint64(l)
+			cols[1*64+l] = loRows[l] & ^uint64(0xffffffff)
+			cols[2*64+l] = hiRows[l]<<32 | uint64(l)*3
+			cols[3*64+l] = hiRows[l] & ^uint64(0xffffffff)
+		}
+		var cLo, cHi [64]uint64
+		PermuteDiffDrawCols64(&cols, delta, n, &cLo, &cHi) // fallback arm (still disabled)
+		useChaskeyAVX2 = true
+		var caLo, caHi [64]uint64
+		PermuteDiffDrawCols64(&cols, delta, n, &caLo, &caHi) // accel arm
+		useChaskeyAVX2 = false
+		if cLo != caLo || cHi != caHi {
+			t.Fatalf("trial %d over %d rounds: draw-column fallback diverges from its AVX2 arm", trial, n)
+		}
+		if cLo != accLo || cHi != accHi {
+			t.Fatalf("trial %d over %d rounds: draw-column entry diverges from packed-row AVX2", trial, n)
+		}
 	}
 }

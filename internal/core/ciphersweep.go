@@ -145,33 +145,40 @@ func (s *SimonScenario) SliceRows() int { return 2 * simon.SlicedLanes }
 // SampleSlice fills one 128-row window through the ×64 bitsliced
 // differential kernel. Row j draws from its positional substream
 // exactly as SampleBatch would — class 0 one word, class 1 six 16-bit
-// words, packed into kernel lane rows as they are drawn — then all 64
-// class-1 encryptions run in one EncryptCrossDiffSliced64 call (∇ = 0
-// degenerates to the single-key kernel inside).
-func (s *SimonScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
-	seeder := prng.NewStreamSeeder(base)
-	var keyRows [simon.SlicedLanes]uint64
-	var ptRows [simon.SlicedLanes]uint32
-	var laneRow [simon.SlicedLanes]int
-	lanes := 0
-	for i := 0; i < 2*simon.SlicedLanes; i++ {
-		j := firstRow + i
-		c := j % 2
-		y[i] = c
-		seeder.Seed(rw, uint64(j))
-		if c == 0 {
-			dst[i] = rw.Uint64() & 0xffffffff
-			continue
-		}
-		keyRows[lanes] = simon.PackKeyRow(simon.Key{rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16()})
-		ptRows[lanes] = simon.PackBlockRow(simon.Block{X: rw.Uint16(), Y: rw.Uint16()})
-		laneRow[lanes] = i
-		lanes++
+// words — but the draws run through the vectorized batch kernel: each
+// class is one strided prng.DrawWords64Strided call over the window's
+// 64 substreams, and the class-1 draw columns transpose straight into
+// the kernel's bit planes via bits.TransposeTop16Pair (a Uint16 draw is
+// the top 16 bits of its Uint64 output), so no per-row pack or scatter
+// remains. All 64 class-1 encryptions then run in one
+// EncryptCrossDiffPlanes64 call (∇ = 0 degenerates to the single-key
+// kernel inside).
+func (s *SimonScenario) SampleSlice(_ *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	// Shard windows can start on either parity; class-1 rows sit at
+	// window offsets of the opposite parity to firstRow.
+	off0 := firstRow & 1
+	off1 := 1 - off0
+	var rnd [simon.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off0), 2, simon.SlicedLanes, 1, rnd[:])
+	for l := 0; l < simon.SlicedLanes; l++ {
+		dst[off0+2*l] = rnd[l] & 0xffffffff
 	}
+	// Class-1 column w holds draw w (k0, k1, k2, k3, X, Y) of every
+	// lane; column pairs become the key plane groups and the pt planes.
+	var cols [6 * simon.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off1), 2, simon.SlicedLanes, 6, cols[:])
+	var ma [64]uint64
+	var mp [32]uint64
+	bits.TransposeTop16Pair((*[64]uint64)(cols[0:64]), (*[64]uint64)(cols[64:128]), (*[32]uint64)(ma[0:32]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[128:192]), (*[64]uint64)(cols[192:256]), (*[32]uint64)(ma[32:64]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[256:320]), (*[64]uint64)(cols[320:384]), &mp)
 	var out [simon.SlicedLanes]uint32
-	simon.EncryptCrossDiffSliced64(&keyRows, s.KeyD, &ptRows, s.Delta, s.Rounds, &out)
-	for l := 0; l < lanes; l++ {
-		dst[laneRow[l]] = uint64(out[l])
+	simon.EncryptCrossDiffPlanes64(&ma, s.KeyD, &mp, s.Delta, s.Rounds, &out)
+	for l := 0; l < simon.SlicedLanes; l++ {
+		dst[off1+2*l] = uint64(out[l])
+	}
+	for i := range y {
+		y[i] = (firstRow + i) & 1
 	}
 }
 
@@ -288,32 +295,31 @@ func (s *SimeckScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 func (s *SimeckScenario) SliceRows() int { return 2 * simeck.SlicedLanes }
 
 // SampleSlice fills one 128-row window through the ×64 bitsliced
-// differential kernel, with the same per-row positional draws as
-// SampleBatch; see SimonScenario.SampleSlice.
-func (s *SimeckScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
-	seeder := prng.NewStreamSeeder(base)
-	var keyRows [simeck.SlicedLanes]uint64
-	var ptRows [simeck.SlicedLanes]uint32
-	var laneRow [simeck.SlicedLanes]int
-	lanes := 0
-	for i := 0; i < 2*simeck.SlicedLanes; i++ {
-		j := firstRow + i
-		c := j % 2
-		y[i] = c
-		seeder.Seed(rw, uint64(j))
-		if c == 0 {
-			dst[i] = rw.Uint64() & 0xffffffff
-			continue
-		}
-		keyRows[lanes] = simeck.PackKeyRow(simeck.Key{rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16()})
-		ptRows[lanes] = simeck.PackBlockRow(simeck.Block{X: rw.Uint16(), Y: rw.Uint16()})
-		laneRow[lanes] = i
-		lanes++
+// differential kernel, with the same batched positional draws as
+// SimonScenario.SampleSlice: one strided draw call per class, columns
+// transposed straight into kernel planes.
+func (s *SimeckScenario) SampleSlice(_ *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	off0 := firstRow & 1
+	off1 := 1 - off0
+	var rnd [simeck.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off0), 2, simeck.SlicedLanes, 1, rnd[:])
+	for l := 0; l < simeck.SlicedLanes; l++ {
+		dst[off0+2*l] = rnd[l] & 0xffffffff
 	}
+	var cols [6 * simeck.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off1), 2, simeck.SlicedLanes, 6, cols[:])
+	var ma [64]uint64
+	var mp [32]uint64
+	bits.TransposeTop16Pair((*[64]uint64)(cols[0:64]), (*[64]uint64)(cols[64:128]), (*[32]uint64)(ma[0:32]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[128:192]), (*[64]uint64)(cols[192:256]), (*[32]uint64)(ma[32:64]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[256:320]), (*[64]uint64)(cols[320:384]), &mp)
 	var out [simeck.SlicedLanes]uint32
-	simeck.EncryptCrossDiffSliced64(&keyRows, s.KeyD, &ptRows, s.Delta, s.Rounds, &out)
-	for l := 0; l < lanes; l++ {
-		dst[laneRow[l]] = uint64(out[l])
+	simeck.EncryptCrossDiffPlanes64(&ma, s.KeyD, &mp, s.Delta, s.Rounds, &out)
+	for l := 0; l < simeck.SlicedLanes; l++ {
+		dst[off1+2*l] = uint64(out[l])
+	}
+	for i := range y {
+		y[i] = (firstRow + i) & 1
 	}
 }
 
@@ -394,34 +400,31 @@ func (s *ChaskeyScenario) SampleBatch(r *prng.Rand, class int, dst []uint64) {
 func (s *ChaskeyScenario) SliceRows() int { return 2 * chaskey.SlicedLanes }
 
 // SampleSlice fills one 128-row window through the ×64 sliced kernel.
-// A Chaskey row is two packed words, so dst is indexed at 2× the row;
-// the kernel's (lo, hi) packed-row layout is exactly SampleBatch's
-// dst[0]/dst[1] layout.
-func (s *ChaskeyScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
-	seeder := prng.NewStreamSeeder(base)
-	var loRows, hiRows [chaskey.SlicedLanes]uint64
-	var laneRow [chaskey.SlicedLanes]int
-	lanes := 0
-	for i := 0; i < 2*chaskey.SlicedLanes; i++ {
-		j := firstRow + i
-		c := j % 2
-		y[i] = c
-		seeder.Seed(rw, uint64(j))
-		if c == 0 {
-			dst[2*i] = rw.Uint64()
-			dst[2*i+1] = rw.Uint64()
-			continue
-		}
-		v := chaskey.State{rw.Uint32(), rw.Uint32(), rw.Uint32(), rw.Uint32()}
-		loRows[lanes], hiRows[lanes] = chaskey.PackStateRows(v)
-		laneRow[lanes] = i
-		lanes++
+// A Chaskey row is two packed words, so dst is indexed at 2× the row.
+// Draws run through the vectorized batch kernel — one strided call per
+// class — and the raw class-1 draw columns feed the kernel's
+// draw-column entry directly (a Uint32 draw is the top 32 bits of its
+// Uint64 output, and the truncation folds into the kernel's own lane
+// split), which is the layout the AVX2 kernel walks natively.
+func (s *ChaskeyScenario) SampleSlice(_ *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	off0 := firstRow & 1
+	off1 := 1 - off0
+	var rnd [2 * chaskey.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off0), 2, chaskey.SlicedLanes, 2, rnd[:])
+	for l := 0; l < chaskey.SlicedLanes; l++ {
+		dst[2*(off0+2*l)] = rnd[l]
+		dst[2*(off0+2*l)+1] = rnd[chaskey.SlicedLanes+l]
 	}
+	var cols [4 * chaskey.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off1), 2, chaskey.SlicedLanes, 4, cols[:])
 	var outLo, outHi [chaskey.SlicedLanes]uint64
-	chaskey.PermuteDiffSliced64(&loRows, &hiRows, s.Delta, s.Rounds, &outLo, &outHi)
-	for l := 0; l < lanes; l++ {
-		dst[2*laneRow[l]] = outLo[l]
-		dst[2*laneRow[l]+1] = outHi[l]
+	chaskey.PermuteDiffDrawCols64(&cols, s.Delta, s.Rounds, &outLo, &outHi)
+	for l := 0; l < chaskey.SlicedLanes; l++ {
+		dst[2*(off1+2*l)] = outLo[l]
+		dst[2*(off1+2*l)+1] = outHi[l]
+	}
+	for i := range y {
+		y[i] = (firstRow + i) & 1
 	}
 }
 

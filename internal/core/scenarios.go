@@ -339,33 +339,41 @@ func (s *SpeckScenario) SliceRows() int { return 2 * speck.SlicedLanes }
 // SampleSlice fills one 256-row window through the ×128 bitsliced
 // differential kernel. Row j draws from its positional substream
 // exactly as SampleBatch would — class 0 one word, class 1 six 16-bit
-// words, packed into kernel lane rows as they are drawn — then all 128
-// class-1 encryptions run in one EncryptDiffSliced128 call. A SPECK
-// row is one packed word, so dst is indexed by row.
-func (s *SpeckScenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
-	seeder := prng.NewStreamSeeder(base)
-	var keyRows [speck.SlicedLanes]uint64
-	var ptRows [speck.SlicedLanes]uint32
-	var laneRow [speck.SlicedLanes]int
-	lanes := 0
-	for i := 0; i < 2*speck.SlicedLanes; i++ {
-		j := firstRow + i
-		c := j % 2
-		y[i] = c
-		seeder.Seed(rw, uint64(j))
-		if c == 0 {
-			dst[i] = rw.Uint64() & 0xffffffff
-			continue
-		}
-		keyRows[lanes] = speck.PackKeyRow(rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16())
-		ptRows[lanes] = speck.PackBlockRow(speck.Block{X: rw.Uint16(), Y: rw.Uint16()})
-		laneRow[lanes] = i
-		lanes++
+// words — but each class is one vectorized prng.DrawWords64Strided
+// call over the window's 128 substreams. The class-1 draw columns
+// transpose per 64-lane group straight into the kernel's plane
+// matrices, then all 128 encryptions run in one EncryptDiffPlanes128
+// call. A SPECK row is one packed word, so dst is indexed by row.
+func (s *SpeckScenario) SampleSlice(_ *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	off0 := firstRow & 1
+	off1 := 1 - off0
+	var rnd [speck.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off0), 2, speck.SlicedLanes, 1, rnd[:])
+	for l := 0; l < speck.SlicedLanes; l++ {
+		dst[off0+2*l] = rnd[l] & 0xffffffff
 	}
+	var cols [6 * speck.SlicedLanes]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off1), 2, speck.SlicedLanes, 6, cols[:])
+	// Column w of lane group g (64 lanes each) lives at
+	// cols[w*128+64*g : w*128+64*g+64]; draw order is k0..k3, X, Y.
+	col := func(w, g int) *[64]uint64 {
+		return (*[64]uint64)(cols[w*speck.SlicedLanes+64*g : w*speck.SlicedLanes+64*g+64])
+	}
+	var m0, m1 [64]uint64
+	var mp0, mp1 [32]uint64
+	bits.TransposeTop16Pair(col(0, 0), col(1, 0), (*[32]uint64)(m0[0:32]))
+	bits.TransposeTop16Pair(col(2, 0), col(3, 0), (*[32]uint64)(m0[32:64]))
+	bits.TransposeTop16Pair(col(0, 1), col(1, 1), (*[32]uint64)(m1[0:32]))
+	bits.TransposeTop16Pair(col(2, 1), col(3, 1), (*[32]uint64)(m1[32:64]))
+	bits.TransposeTop16Pair(col(4, 0), col(5, 0), &mp0)
+	bits.TransposeTop16Pair(col(4, 1), col(5, 1), &mp1)
 	var out [speck.SlicedLanes]uint32
-	speck.EncryptDiffSliced128(&keyRows, &ptRows, s.Delta, s.Rounds, &out)
-	for l := 0; l < lanes; l++ {
-		dst[laneRow[l]] = uint64(out[l])
+	speck.EncryptDiffPlanes128(&m0, &m1, &mp0, &mp1, s.Delta, s.Rounds, &out)
+	for l := 0; l < speck.SlicedLanes; l++ {
+		dst[off1+2*l] = uint64(out[l])
+	}
+	for i := range y {
+		y[i] = (firstRow + i) & 1
 	}
 }
 

@@ -94,34 +94,35 @@ func (s *Gift64Scenario) SliceRows() int { return 2 * gift.SlicedLanes64 }
 // differential kernel, replacing 128 table-driven scalar encryptions
 // (each paying a full 28-round schedule expansion) with one fused
 // plane walk. Row j draws from its positional substream exactly as
-// SampleBatch would: class 0 one word, class 1 eight 16-bit key words
-// then the plaintext word.
-func (s *Gift64Scenario) SampleSlice(rw *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
-	seeder := prng.NewStreamSeeder(base)
-	var keyLo, keyHi, ptRows [gift.SlicedLanes64]uint64
-	var laneRow [gift.SlicedLanes64]int
-	lanes := 0
-	for i := 0; i < 2*gift.SlicedLanes64; i++ {
-		j := firstRow + i
-		c := j % 2
-		y[i] = c
-		seeder.Seed(rw, uint64(j))
-		if c == 0 {
-			dst[i] = rw.Uint64()
-			continue
-		}
-		keyLo[lanes], keyHi[lanes] = gift.PackKeyRows([8]uint16{
-			rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16(),
-			rw.Uint16(), rw.Uint16(), rw.Uint16(), rw.Uint16(),
-		})
-		ptRows[lanes] = rw.Uint64()
-		laneRow[lanes] = i
-		lanes++
+// SampleBatch would — class 0 one word, class 1 eight 16-bit key words
+// then the plaintext word — but each class is one vectorized
+// prng.DrawWords64Strided call over the window's 64 substreams, with
+// the key columns transposed pairwise into the kernel's plane matrices
+// and the plaintext column transposed whole.
+func (s *Gift64Scenario) SampleSlice(_ *prng.Rand, base uint64, firstRow int, dst []uint64, y []int) {
+	off0 := firstRow & 1
+	off1 := 1 - off0
+	var rnd [gift.SlicedLanes64]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off0), 2, gift.SlicedLanes64, 1, rnd[:])
+	for l := 0; l < gift.SlicedLanes64; l++ {
+		dst[off0+2*l] = rnd[l]
 	}
+	var cols [9 * gift.SlicedLanes64]uint64
+	prng.DrawWords64Strided(base, uint64(firstRow+off1), 2, gift.SlicedLanes64, 9, cols[:])
+	var mkLo, mkHi [64]uint64
+	bits.TransposeTop16Pair((*[64]uint64)(cols[0:64]), (*[64]uint64)(cols[64:128]), (*[32]uint64)(mkLo[0:32]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[128:192]), (*[64]uint64)(cols[192:256]), (*[32]uint64)(mkLo[32:64]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[256:320]), (*[64]uint64)(cols[320:384]), (*[32]uint64)(mkHi[0:32]))
+	bits.TransposeTop16Pair((*[64]uint64)(cols[384:448]), (*[64]uint64)(cols[448:512]), (*[32]uint64)(mkHi[32:64]))
+	pt := (*[64]uint64)(cols[512:576])
+	bits.Transpose64(pt)
 	var out [gift.SlicedLanes64]uint64
-	gift.EncryptDiffSliced64(&keyLo, &keyHi, &ptRows, s.Delta, s.Rounds, &out)
-	for l := 0; l < lanes; l++ {
-		dst[laneRow[l]] = out[l]
+	gift.EncryptDiffPlanes64(&mkLo, &mkHi, pt, s.Delta, s.Rounds, &out)
+	for l := 0; l < gift.SlicedLanes64; l++ {
+		dst[off1+2*l] = out[l]
+	}
+	for i := range y {
+		y[i] = (firstRow + i) & 1
 	}
 }
 

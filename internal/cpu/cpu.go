@@ -1,0 +1,5 @@
+// Package cpu holds runtime CPU feature detection for the SIMD
+// kernels. It is a leaf package — it imports nothing inside the
+// module — so every accelerated package (bits, prng, nn, the cipher
+// kernels) can gate its vector paths on it without import cycles.
+package cpu

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package cpu
+
+// HasAVX2 reports whether the running CPU and OS support AVX2; always
+// false off amd64.
+func HasAVX2() bool { return false }

@@ -93,24 +93,37 @@ func addRoundKeySliced(sp *[64]uint64, u, v keySlot, rc byte) {
 
 // encryptSlicedStates runs n rounds over one or two state plane sets
 // under one shared key schedule (the differential sampler's two states
-// use the same per-lane keys). Each states[i] is paired with its own
-// scratch buffer; the final planes are in states[i] on return.
-func encryptSlicedStates(slots *[8]keySlot, states, scratch []*[64]uint64, n int) {
+// use the same per-lane keys). sb/tb may be nil for a single state.
+// Explicit pointer parameters — not a []*[64]uint64 — and a by-value
+// slot array (the rotation writes pointers into it every round) keep
+// escape analysis happy: callers' plane arrays stay on their stacks. The
+// returned pointers hold the final planes (state and scratch swap each
+// round, so they may be either input buffer).
+func encryptSlicedStates(slots [8]keySlot, sa, ta, sb, tb *[64]uint64, n int) (ra, rb *[64]uint64) {
 	state6 := byte(0)
 	for r := 0; r < n; r++ {
 		u, v := slots[6], slots[7]
 		state6 = (state6<<1 | (state6>>5^state6>>4^1)&1) & 0x3f
-		for i := range states {
-			subCellsPerm(scratch[i], states[i])
-			states[i], scratch[i] = scratch[i], states[i]
-			addRoundKeySliced(states[i], u, v, state6)
+		subCellsPerm(ta, sa)
+		sa, ta = ta, sa
+		addRoundKeySliced(sa, u, v, state6)
+		if sb != nil {
+			subCellsPerm(tb, sb)
+			sb, tb = tb, sb
+			addRoundKeySliced(sb, u, v, state6)
 		}
 		// Schedule rotation: pure slot movement, u and v re-enter at the
-		// bottom with their word rotations folded into the offsets.
-		copy(slots[2:], slots[:6])
+		// bottom with their word rotations folded into the offsets. An
+		// explicit shift rather than copy(): escape analysis treats a
+		// copy of pointer-carrying elements as a leak, which would force
+		// every caller's plane arrays to the heap.
+		for i := 7; i >= 2; i-- {
+			slots[i] = slots[i-2]
+		}
 		slots[0] = keySlot{u.g, (u.off + 2) & 15}
 		slots[1] = keySlot{v.g, (v.off + 12) & 15}
 	}
+	return sa, sb
 }
 
 // EncryptSliced64 encrypts 64 lanes, each under its own key, through
@@ -129,10 +142,9 @@ func EncryptSliced64(keyLoRows, keyHiRows, ptRows *[64]uint64, n int, out *[64]u
 	sa := *ptRows
 	bits.Transpose64(&sa)
 	var ta [64]uint64
-	sts := []*[64]uint64{&sa}
-	encryptSlicedStates(&slots, sts, []*[64]uint64{&ta}, n)
+	fa, _ := encryptSlicedStates(slots, &sa, &ta, nil, nil, n)
 
-	res := *sts[0]
+	res := *fa
 	bits.Transpose64(&res)
 	*out = res
 }
@@ -151,25 +163,40 @@ func EncryptDiffSliced64(keyLoRows, keyHiRows, ptRows *[64]uint64, delta uint64,
 	mkLo, mkHi := *keyLoRows, *keyHiRows
 	bits.Transpose64(&mkLo)
 	bits.Transpose64(&mkHi)
-	slots := keySlots(&mkLo, &mkHi)
-
-	// State lanes → planes; the δ-partner is the same matrix with the
-	// planes where delta has a 1 complemented.
 	sa := *ptRows
 	bits.Transpose64(&sa)
-	sb := sa
+	encryptDiffPlanes(&mkLo, &mkHi, &sa, delta, n, out)
+}
+
+// EncryptDiffPlanes64 is EncryptDiffSliced64 for callers that already
+// hold the inputs in plane form: keyLo/keyHi are the transposed images
+// of the PackKeyRows lane rows and pt the transposed state matrix
+// (plane i = state bit i across lanes). The batched-draw sampler builds
+// these directly from column-major PRNG draws. All three plane arrays
+// are clobbered.
+func EncryptDiffPlanes64(keyLo, keyHi, pt *[64]uint64, delta uint64, n int, out *[64]uint64) {
+	if n < 0 || n > Rounds64 {
+		panic(fmt.Sprintf("gift: invalid GIFT-64 round count %d", n))
+	}
+	encryptDiffPlanes(keyLo, keyHi, pt, delta, n, out)
+}
+
+func encryptDiffPlanes(mkLo, mkHi, sa *[64]uint64, delta uint64, n int, out *[64]uint64) {
+	slots := keySlots(mkLo, mkHi)
+
+	// The δ-partner is the same state matrix with the planes where
+	// delta has a 1 complemented.
+	sb := *sa
 	for i := uint(0); i < 64; i++ {
 		sb[i] ^= -(delta >> i & 1)
 	}
 	var ta, tb [64]uint64
-	pa, pb := &sa, &sb
-	sts := []*[64]uint64{pa, pb}
-	encryptSlicedStates(&slots, sts, []*[64]uint64{&ta, &tb}, n)
+	fa, fb := encryptSlicedStates(slots, sa, &ta, &sb, &tb, n)
 
 	// Output difference, planes → lanes (Transpose64 is an involution).
 	var od [64]uint64
 	for i := 0; i < 64; i++ {
-		od[i] = sts[0][i] ^ sts[1][i]
+		od[i] = fa[i] ^ fb[i]
 	}
 	bits.Transpose64(&od)
 	*out = od

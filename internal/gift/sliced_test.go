@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bits"
 	"repro/internal/gift"
 	"repro/internal/prng"
 	"repro/internal/testkit"
@@ -106,6 +107,30 @@ func TestEncryptDiffSliced64(t *testing.T) {
 				return fmt.Errorf("lane %d over %d rounds δ=%016x: diff %016x vs scalar %016x",
 					l, c.Rounds, c.Delta, out[l], want)
 			}
+		}
+		return nil
+	})
+}
+
+// TestEncryptDiffPlanes64 pins the plane-form entry against the
+// row-form kernel: transposing the packed rows by hand and calling the
+// planes entry must reproduce EncryptDiffSliced64 exactly.
+func TestEncryptDiffPlanes64(t *testing.T) {
+	testkit.Check(t, "gift64-sliced-planes", slicedCases64(), func(c slicedCase64) error {
+		var keyLo, keyHi [64]uint64
+		for l := 0; l < 64; l++ {
+			keyLo[l], keyHi[l] = gift.PackKeyRows(c.Keys[l])
+		}
+		var want [64]uint64
+		gift.EncryptDiffSliced64(&keyLo, &keyHi, &c.States, c.Delta, c.Rounds, &want)
+		mkLo, mkHi, pt := keyLo, keyHi, c.States
+		bits.Transpose64(&mkLo)
+		bits.Transpose64(&mkHi)
+		bits.Transpose64(&pt)
+		var got [64]uint64
+		gift.EncryptDiffPlanes64(&mkLo, &mkHi, &pt, c.Delta, c.Rounds, &got)
+		if got != want {
+			return fmt.Errorf("plane-form entry differs from row-form kernel")
 		}
 		return nil
 	})

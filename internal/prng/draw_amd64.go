@@ -1,0 +1,46 @@
+//go:build amd64
+
+package prng
+
+import "repro/internal/cpu"
+
+// useDrawAVX2 gates the vector draw kernel; tests flip it to force the
+// scalar path and check both produce identical output.
+var useDrawAVX2 = cpu.HasAVX2()
+
+// drawWordsAVX2 seeds 4 substreams per YMM register group and emits
+// their first wordsPerRow xoshiro256** outputs. lanes holds the first
+// group's four stream indices and advances by stride4 per group, so
+// group g covers rows 4g..4g+3. out is the column-major buffer base;
+// word w of group g lands at out[w*rows + 4g].
+//
+//go:noescape
+func drawWordsAVX2(seedA *[4]uint64, lanes *[4]uint64, stride4 uint64, groups, wordsPerRow, rows int, out *uint64)
+
+// drawWord1AVX2 is the wordsPerRow == 1 fast path: the first xoshiro
+// output depends only on state word s[1], so seeding collapses to a
+// single SplitMix64 mix per stream (prng_amd64.s).
+//
+//go:noescape
+func drawWord1AVX2(seedA *[4]uint64, lanes *[4]uint64, stride4 uint64, groups int, out *uint64)
+
+func drawWords(base, firstStream, stride uint64, rows, wordsPerRow int, out []uint64) {
+	ss := NewStreamSeeder(base)
+	groups := rows / 4
+	if useDrawAVX2 && groups > 0 {
+		var lanes [4]uint64
+		for i := range lanes {
+			lanes[i] = firstStream + uint64(i)*stride
+		}
+		if wordsPerRow == 1 {
+			drawWord1AVX2(&ss.a, &lanes, 4*stride, groups, &out[0])
+		} else {
+			drawWordsAVX2(&ss.a, &lanes, 4*stride, groups, wordsPerRow, rows, &out[0])
+		}
+		if rem := rows & 3; rem > 0 {
+			drawWordsScalar(&ss, firstStream, stride, rows-rem, rows, wordsPerRow, out)
+		}
+		return
+	}
+	drawWordsScalar(&ss, firstStream, stride, 0, rows, wordsPerRow, out)
+}

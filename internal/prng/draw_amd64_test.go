@@ -1,0 +1,39 @@
+//go:build amd64
+
+package prng
+
+import "testing"
+
+// TestDrawWordsScalarVectorIdentical forces both dispatch arms and
+// checks they produce bit-identical buffers, so the acceptance on
+// non-AVX2 builds follows from the AVX2-build run: the scalar arm is
+// the only code path there.
+func TestDrawWordsScalarVectorIdentical(t *testing.T) {
+	if !useDrawAVX2 {
+		t.Skip("AVX2 unavailable; scalar path is already the only path")
+	}
+	defer func() { useDrawAVX2 = true }()
+	shapes := []struct {
+		rows, words int
+		stride      uint64
+	}{
+		{4, 1, 1}, {4, 6, 2}, {5, 2, 1}, {7, 9, 2}, {64, 6, 2},
+		{64, 1, 2}, {128, 1, 2}, {127, 3, 1}, {12, 4, 5},
+	}
+	for _, sh := range shapes {
+		for _, first := range []uint64{0, 1, 143, 1<<63 + 12345} {
+			vec := make([]uint64, sh.rows*sh.words)
+			sca := make([]uint64, sh.rows*sh.words)
+			useDrawAVX2 = true
+			DrawWords64Strided(0xabad1dea, first, sh.stride, sh.rows, sh.words, vec)
+			useDrawAVX2 = false
+			DrawWords64Strided(0xabad1dea, first, sh.stride, sh.rows, sh.words, sca)
+			for i := range vec {
+				if vec[i] != sca[i] {
+					t.Fatalf("rows=%d words=%d stride=%d first=%d: vector[%d] = %#x, scalar %#x",
+						sh.rows, sh.words, sh.stride, first, i, vec[i], sca[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package prng
+
+func drawWords(base, firstStream, stride uint64, rows, wordsPerRow int, out []uint64) {
+	ss := NewStreamSeeder(base)
+	drawWordsScalar(&ss, firstStream, stride, 0, rows, wordsPerRow, out)
+}

@@ -1,0 +1,31 @@
+package prng
+
+import "testing"
+
+// FuzzDrawBatch cross-checks the batched draw path (AVX2 kernel plus
+// scalar tail on amd64) against per-row StreamSeeder.Seed + scalar
+// Uint64 draws over arbitrary (seed, firstStream, stride, rows,
+// wordsPerRow).
+func FuzzDrawBatch(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1), uint16(1), uint8(1))
+	f.Add(uint64(2020), uint64(143), uint64(2), uint16(64), uint8(6))
+	f.Add(uint64(0xdeadbeef), uint64(1)<<40, uint64(2), uint16(128), uint8(1))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), uint16(7), uint8(9))
+	f.Fuzz(func(t *testing.T, base, first, stride uint64, rowsRaw uint16, wordsRaw uint8) {
+		rows := int(rowsRaw % 200)
+		words := int(wordsRaw % 12)
+		got := make([]uint64, rows*words)
+		DrawWords64Strided(base, first, stride, rows, words, got)
+		ss := NewStreamSeeder(base)
+		var r Rand
+		for row := 0; row < rows; row++ {
+			ss.Seed(&r, first+uint64(row)*stride)
+			for w := 0; w < words; w++ {
+				if want := r.Uint64(); got[w*rows+row] != want {
+					t.Fatalf("base=%#x first=%#x stride=%#x rows=%d words=%d: row %d word %d = %#x, want %#x",
+						base, first, stride, rows, words, row, w, got[w*rows+row], want)
+				}
+			}
+		}
+	})
+}

@@ -13,7 +13,10 @@
 // standard library.
 package prng
 
-import "math"
+import (
+	"math"
+	mathbits "math/bits"
+)
 
 // Rand is a deterministic random number generator. It is not safe for
 // concurrent use; use Split to derive independent generators for
@@ -81,27 +84,15 @@ func (r *Rand) Intn(n int) int {
 	// rejection loop that removes modulo bias entirely.
 	un := uint64(n)
 	x := r.Uint64()
-	hi, lo := mul64(x, un)
+	hi, lo := mathbits.Mul64(x, un)
 	if lo < un {
 		thresh := (-un) % un
 		for lo < thresh {
 			x = r.Uint64()
-			hi, lo = mul64(x, un)
+			hi, lo = mathbits.Mul64(x, un)
 		}
 	}
 	return int(hi)
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t&mask32 + a0*b1
-	hi = a1*b1 + t>>32 + w1>>32
-	lo = a * b
-	return hi, lo
 }
 
 // Float64 returns a uniformly distributed float64 in [0, 1).

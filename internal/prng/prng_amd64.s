@@ -1,0 +1,188 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Vectorized positional draws: 4 xoshiro256** substreams per YMM
+// register group, seeded by the SeedStream SplitMix64 stream chain.
+//
+// Per group the kernel runs the stream-dependent SplitMix64 chain
+// (b = stream ^ XORC, then four steps of b += GOLDEN; z = mix(b)) on
+// all four lanes at once, XORs in the precomputed seed-chain words
+// seedA[0..3], applies the all-zero state guard, and then draws
+// wordsPerRow xoshiro256** outputs. The 64×64-bit SplitMix64 multiplies
+// decompose into three VPMULUDQ 32×32 partial products; the xoshiro ×5
+// and ×9 multiplies are shift+add. Every lane is bit-identical to
+// StreamSeeder.Seed followed by scalar Uint64 draws.
+//
+// Register plan:
+//   Y0..Y3   xoshiro state s0..s3
+//   Y4..Y7   scratch (z, partial products)
+//   Y8       GOLDEN  0x9e3779b97f4a7c15 (SplitMix64 increment + zero guard)
+//   Y9, Y11  M1, M1>>32
+//   Y10, Y12 M2, M2>>32
+//   Y13      stride4 broadcast (per-group stream advance)
+//   Y14      current group's four stream indices
+//   Y15      SplitMix64 b state during seeding
+
+DATA drawGolden<>+0(SB)/8, $0x9e3779b97f4a7c15
+GLOBL drawGolden<>(SB), RODATA, $8
+
+DATA drawM1<>+0(SB)/8, $0xbf58476d1ce4e5b9
+GLOBL drawM1<>(SB), RODATA, $8
+
+DATA drawM2<>+0(SB)/8, $0x94d049bb133111eb
+GLOBL drawM2<>(SB), RODATA, $8
+
+DATA drawXorc<>+0(SB)/8, $0xd1b54a32d192ed03
+GLOBL drawXorc<>(SB), RODATA, $8
+
+// MUL64C(M, MHI): Y4 = Y4 * M (mod 2^64), M a broadcast constant with
+// its high halves in MHI. lo = lo32(z)*lo32(M) full-width; the two
+// cross products supply the high 32 bits.
+#define MUL64C(M, MHI) \
+	VPMULUDQ M, Y4, Y5    \
+	VPSRLQ   $32, Y4, Y6  \
+	VPMULUDQ M, Y6, Y6    \
+	VPMULUDQ MHI, Y4, Y7  \
+	VPADDQ   Y6, Y7, Y6   \
+	VPSLLQ   $32, Y6, Y6  \
+	VPADDQ   Y5, Y6, Y4
+
+// SEEDSTEP(off, dst): one SplitMix64 step of the b chain (Y15), then
+// dst = seedA[off/8] ^ rotl64(z, 31), matching StreamSeeder.Seed.
+#define SEEDSTEP(off, dst) \
+	VPADDQ   Y8, Y15, Y15 \
+	VPSRLQ   $30, Y15, Y4 \
+	VPXOR    Y15, Y4, Y4  \
+	MUL64C(Y9, Y11)       \
+	VPSRLQ   $27, Y4, Y5  \
+	VPXOR    Y5, Y4, Y4   \
+	MUL64C(Y10, Y12)      \
+	VPSRLQ   $31, Y4, Y5  \
+	VPXOR    Y5, Y4, Y4   \
+	VPSLLQ   $31, Y4, Y5  \
+	VPSRLQ   $33, Y4, Y6  \
+	VPOR     Y5, Y6, Y5   \
+	VPBROADCASTQ off(SI), Y6 \
+	VPXOR    Y6, Y5, dst
+
+// func drawWordsAVX2(seedA *[4]uint64, lanes *[4]uint64, stride4 uint64,
+//                    groups, wordsPerRow, rows int, out *uint64)
+TEXT ·drawWordsAVX2(SB), NOSPLIT, $0-56
+	MOVQ seedA+0(FP), SI
+	MOVQ lanes+8(FP), R8
+	VMOVDQU (R8), Y14
+	VPBROADCASTQ stride4+16(FP), Y13
+	MOVQ groups+24(FP), AX
+	MOVQ rows+40(FP), R10
+	SHLQ $3, R10                  // byte stride between word columns
+	MOVQ out+48(FP), BX
+
+	VPBROADCASTQ drawGolden<>(SB), Y8
+	VPBROADCASTQ drawM1<>(SB), Y9
+	VPBROADCASTQ drawM2<>(SB), Y10
+	VPSRLQ $32, Y9, Y11
+	VPSRLQ $32, Y10, Y12
+
+group:
+	// Seed: b = streams ^ XORC, then four chained SplitMix64 steps.
+	VPBROADCASTQ drawXorc<>(SB), Y15
+	VPXOR Y14, Y15, Y15
+	SEEDSTEP(0, Y0)
+	SEEDSTEP(8, Y1)
+	SEEDSTEP(16, Y2)
+	SEEDSTEP(24, Y3)
+
+	// All-zero state guard: lanes with s0|s1|s2|s3 == 0 get s0 = GOLDEN.
+	VPOR   Y1, Y0, Y4
+	VPOR   Y2, Y4, Y4
+	VPOR   Y3, Y4, Y4
+	VPXOR  Y5, Y5, Y5
+	VPCMPEQQ Y5, Y4, Y4
+	VPAND  Y8, Y4, Y4
+	VPOR   Y4, Y0, Y0
+
+	MOVQ wordsPerRow+32(FP), CX
+	MOVQ BX, DI
+
+draw:
+	// result = rotl64(s1*5, 7) * 9, via shift+add.
+	VPSLLQ $2, Y1, Y4
+	VPADDQ Y1, Y4, Y4
+	VPSLLQ $7, Y4, Y5
+	VPSRLQ $57, Y4, Y6
+	VPOR   Y5, Y6, Y4
+	VPSLLQ $3, Y4, Y5
+	VPADDQ Y5, Y4, Y4
+	VMOVDQU Y4, (DI)
+
+	// State update: t = s1<<17; s2^=s0; s3^=s1; s1^=s2; s0^=s3;
+	// s2^=t; s3 = rotl64(s3, 45).
+	VPSLLQ $17, Y1, Y5
+	VPXOR  Y0, Y2, Y2
+	VPXOR  Y1, Y3, Y3
+	VPXOR  Y2, Y1, Y1
+	VPXOR  Y3, Y0, Y0
+	VPXOR  Y5, Y2, Y2
+	VPSLLQ $45, Y3, Y5
+	VPSRLQ $19, Y3, Y6
+	VPOR   Y5, Y6, Y3
+
+	ADDQ R10, DI
+	DECQ CX
+	JNZ  draw
+
+	VPADDQ Y13, Y14, Y14          // next group's stream indices
+	ADDQ   $32, BX                // next group's rows in every column
+	DECQ   AX
+	JNZ    group
+
+	VZEROUPPER
+	RET
+
+// func drawWord1AVX2(seedA *[4]uint64, lanes *[4]uint64, stride4 uint64,
+//                    groups int, out *uint64)
+//
+// Single-draw fast path (wordsPerRow == 1, the random-class draw of
+// every sweep scenario). The first xoshiro256** output rotl(s1*5,7)*9
+// reads only s[1], and the all-zero guard rewrites only s[0], so the
+// seed collapses to one SplitMix64 mix: advance the b chain past the
+// s[0] step and run the s[1] step alone — a quarter of the full
+// seeding work, bit-identical to Seed + one Uint64.
+TEXT ·drawWord1AVX2(SB), NOSPLIT, $0-40
+	MOVQ seedA+0(FP), SI
+	MOVQ lanes+8(FP), R8
+	VMOVDQU (R8), Y14
+	VPBROADCASTQ stride4+16(FP), Y13
+	MOVQ groups+24(FP), AX
+	MOVQ out+32(FP), BX
+
+	VPBROADCASTQ drawGolden<>(SB), Y8
+	VPBROADCASTQ drawM1<>(SB), Y9
+	VPBROADCASTQ drawM2<>(SB), Y10
+	VPSRLQ $32, Y9, Y11
+	VPSRLQ $32, Y10, Y12
+
+group1:
+	VPBROADCASTQ drawXorc<>(SB), Y15
+	VPXOR  Y14, Y15, Y15
+	VPADDQ Y8, Y15, Y15           // skip the s[0] chain step
+	SEEDSTEP(8, Y1)
+
+	// result = rotl64(s1*5, 7) * 9, via shift+add.
+	VPSLLQ $2, Y1, Y4
+	VPADDQ Y1, Y4, Y4
+	VPSLLQ $7, Y4, Y5
+	VPSRLQ $57, Y4, Y6
+	VPOR   Y5, Y6, Y4
+	VPSLLQ $3, Y4, Y5
+	VPADDQ Y5, Y4, Y4
+	VMOVDQU Y4, (BX)
+
+	VPADDQ Y13, Y14, Y14
+	ADDQ   $32, BX
+	DECQ   AX
+	JNZ    group1
+
+	VZEROUPPER
+	RET

@@ -111,17 +111,40 @@ func feistelRound(nx, x, y, rk *[16]uint64) {
 }
 
 func encryptDiffSliced(keyRows *[64]uint64, keyDelta Key, ptRows *[64]uint32, delta Block, n int, out *[64]uint32) {
-	// Key matrix → planes, schedule ring viewed in place.
+	// Lane rows → planes, then the plane-form kernel.
 	ma := *keyRows
 	bits.Transpose64(&ma)
-	ska := schedSlots(&ma)
+	var mp [32]uint64
+	bits.TransposeRows32(ptRows, &mp)
+	encryptDiffPlanes(&ma, keyDelta, &mp, delta, n, out)
+}
+
+// EncryptCrossDiffPlanes64 is EncryptCrossDiffSliced64 for callers that
+// already hold the inputs in plane form: keyPlanes is the transposed
+// 64×64 key matrix (plane group 16w..16w+15 = bits of key word w across
+// lanes, the Transpose64 image of PackKeyRow rows) and ptPlanes the
+// 32-plane plaintext (planes 0..15 = X bits, 16..31 = Y bits, the
+// TransposeRows32 image of PackBlockRow rows). The batched-draw sampler
+// builds these directly from column-major PRNG draws via
+// bits.TransposeTop16Pair, skipping the per-row pack + transpose. Both
+// plane arrays are clobbered.
+func EncryptCrossDiffPlanes64(keyPlanes *[64]uint64, keyDelta Key, ptPlanes *[32]uint64, delta Block, n int, out *[64]uint32) {
+	if n < 0 || n > Rounds {
+		panic(fmt.Sprintf("simon: invalid round count %d", n))
+	}
+	encryptDiffPlanes(keyPlanes, keyDelta, ptPlanes, delta, n, out)
+}
+
+func encryptDiffPlanes(ma *[64]uint64, keyDelta Key, mp *[32]uint64, delta Block, n int, out *[64]uint32) {
+	// Schedule ring viewed in place over the key planes.
+	ska := schedSlots(ma)
 	skb := ska
 	var mb [64]uint64
 	sameKey := keyDelta.IsZero()
 	if !sameKey {
 		// The second chain's key planes are the first's with the ∇
 		// planes complemented; it then runs its own schedule ring.
-		mb = ma
+		mb = *ma
 		for w := 0; w < KeyWords; w++ {
 			for b := uint(0); b < 16; b++ {
 				mb[16*w+int(b)] ^= -uint64(keyDelta[w] >> b & 1)
@@ -130,10 +153,8 @@ func encryptDiffSliced(keyRows *[64]uint64, keyDelta Key, ptRows *[64]uint32, de
 		skb = schedSlots(&mb)
 	}
 
-	// Plaintext lanes → planes; the δ-partner differs by a complement
-	// of the planes where delta has a 1.
-	var mp [32]uint64
-	bits.TransposeRows32(ptRows, &mp)
+	// The δ-partner differs by a complement of the planes where delta
+	// has a 1.
 	var ta, xbb, ybb, tb [16]uint64
 	xa, ya := (*[16]uint64)(mp[0:16]), (*[16]uint64)(mp[16:32])
 	xb, yb := &xbb, &ybb

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bits"
 	"repro/internal/prng"
 	"repro/internal/simon"
 	"repro/internal/testkit"
@@ -127,6 +128,32 @@ func TestEncryptCrossDiffSliced64(t *testing.T) {
 	})
 }
 
+// TestEncryptCrossDiffPlanes64 pins the plane-form entry against the
+// row-form kernel: transposing the packed rows by hand and calling the
+// planes entry must reproduce EncryptCrossDiffSliced64 exactly.
+func TestEncryptCrossDiffPlanes64(t *testing.T) {
+	testkit.Check(t, "simon-sliced-planes", slicedCases(), func(c slicedCase) error {
+		var keyRows [64]uint64
+		var ptRows [64]uint32
+		for l := 0; l < 64; l++ {
+			keyRows[l] = simon.PackKeyRow(c.Keys[l])
+			ptRows[l] = simon.PackBlockRow(c.Blocks[l])
+		}
+		var want [64]uint32
+		simon.EncryptCrossDiffSliced64(&keyRows, c.KeyD, &ptRows, c.Delta, c.Rounds, &want)
+		ma := keyRows
+		bits.Transpose64(&ma)
+		var mp [32]uint64
+		bits.TransposeRows32(&ptRows, &mp)
+		var got [64]uint32
+		simon.EncryptCrossDiffPlanes64(&ma, c.KeyD, &mp, c.Delta, c.Rounds, &got)
+		if got != want {
+			return fmt.Errorf("plane-form entry differs from row-form kernel")
+		}
+		return nil
+	})
+}
+
 func TestEncryptDiffSliced64RangeCheck(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -149,4 +176,16 @@ func TestEncryptCrossDiffSliced64RangeCheck(t *testing.T) {
 	var ptRows [64]uint32
 	var out [64]uint32
 	simon.EncryptCrossDiffSliced64(&keyRows, simon.LuKeyDelta, &ptRows, simon.NDDelta, -1, &out)
+}
+
+func TestEncryptCrossDiffPlanes64RangeCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncryptCrossDiffPlanes64 accepted -1 rounds")
+		}
+	}()
+	var keyPlanes [64]uint64
+	var ptPlanes [32]uint64
+	var out [64]uint32
+	simon.EncryptCrossDiffPlanes64(&keyPlanes, simon.LuKeyDelta, &ptPlanes, simon.NDDelta, -1, &out)
 }

@@ -203,11 +203,34 @@ func EncryptDiffSliced64(keyRows *[64]uint64, ptRows *[64]uint32, delta Block, n
 	if n < 0 || n > Rounds {
 		panic(fmt.Sprintf("speck: invalid round count %d", n))
 	}
-	// Key matrix → planes, viewed in place: l2 ‖ l1 ‖ l0 ‖ rk0 plane
-	// groups. lp is the l-chain ring buffer — the schedule recurrence
-	// reads l[i] three steps after writing it, so the three slots cycle.
 	m := *keyRows
 	bits.Transpose64(&m)
+	var mp [32]uint64
+	bits.TransposeRows32(ptRows, &mp)
+	encryptDiffPlanes(&m, &mp, delta, n, out)
+}
+
+// EncryptDiffPlanes64 is EncryptDiffSliced64 for callers that already
+// hold the inputs in plane form: keyPlanes is the transposed 64×64 key
+// matrix (plane group 16w..16w+15 = bits of key word w across lanes,
+// the Transpose64 image of PackKeyRow rows) and ptPlanes the 32-plane
+// plaintext (planes 0..15 = X bits, 16..31 = Y bits, the
+// TransposeRows32 image of PackBlockRow rows). The batched-draw sampler
+// builds these directly from column-major PRNG draws via
+// bits.TransposeTop16Pair, skipping the per-row pack + transpose. Both
+// plane arrays are clobbered.
+func EncryptDiffPlanes64(keyPlanes *[64]uint64, ptPlanes *[32]uint64, delta Block, n int, out *[64]uint32) {
+	if n < 0 || n > Rounds {
+		panic(fmt.Sprintf("speck: invalid round count %d", n))
+	}
+	encryptDiffPlanes(keyPlanes, ptPlanes, delta, n, out)
+}
+
+func encryptDiffPlanes(keyPlanes *[64]uint64, mp *[32]uint64, delta Block, n int, out *[64]uint32) {
+	// Key planes viewed in place: l2 ‖ l1 ‖ l0 ‖ rk0 plane groups. lp
+	// is the l-chain ring buffer — the schedule recurrence reads l[i]
+	// three steps after writing it, so the three slots cycle.
+	m := keyPlanes
 	l2 := (*[16]uint64)(m[0:16])
 	l1 := (*[16]uint64)(m[16:32])
 	l0 := (*[16]uint64)(m[32:48])
@@ -216,10 +239,8 @@ func EncryptDiffSliced64(keyRows *[64]uint64, ptRows *[64]uint32, delta Block, n
 	var rkalt [16]uint64
 	rknext := &rkalt
 
-	// Plaintext lanes → planes; the δ-partner differs by a complement
-	// of the planes where delta has a 1.
-	var mp [32]uint64
-	bits.TransposeRows32(ptRows, &mp)
+	// The δ-partner differs by a complement of the planes where delta
+	// has a 1.
 	var a0, a1, b0, b1 SlicedState
 	copy(a0.X[:], mp[0:16])
 	copy(a0.Y[:], mp[16:32])

@@ -31,3 +31,22 @@ func EncryptDiffSliced128(keyRows *[128]uint64, ptRows *[128]uint32, delta Block
 	EncryptDiffSliced64((*[64]uint64)(keyRows[0:64]), (*[64]uint32)(ptRows[0:64]), delta, n, (*[64]uint32)(out[0:64]))
 	EncryptDiffSliced64((*[64]uint64)(keyRows[64:128]), (*[64]uint32)(ptRows[64:128]), delta, n, (*[64]uint32)(out[64:128]))
 }
+
+// EncryptDiffPlanes128 is EncryptDiffSliced128 for callers that already
+// hold the inputs in plane form per 64-lane group: key0/key1 are the
+// transposed key matrices of lanes 0..63 and 64..127 and pt0/pt1 the
+// corresponding 32-plane plaintexts (the layouts EncryptDiffPlanes64
+// documents). The batched-draw sampler builds them directly from
+// column-major PRNG draws via bits.TransposeTop16Pair; on AVX2 the
+// interleaved-plane assembly pass consumes them without any row-form
+// detour. All four plane arrays are clobbered.
+func EncryptDiffPlanes128(key0, key1 *[64]uint64, pt0, pt1 *[32]uint64, delta Block, n int, out *[128]uint32) {
+	if n < 0 || n > Rounds {
+		panic(fmt.Sprintf("speck: invalid round count %d", n))
+	}
+	if encryptDiffPlanes128Accel(key0, key1, pt0, pt1, delta, n, out) {
+		return
+	}
+	encryptDiffPlanes(key0, pt0, delta, n, (*[64]uint32)(out[0:64]))
+	encryptDiffPlanes(key1, pt1, delta, n, (*[64]uint32)(out[64:128]))
+}

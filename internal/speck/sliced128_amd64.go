@@ -63,15 +63,25 @@ func encryptDiff128Accel(keyRows *[128]uint64, ptRows *[128]uint32, delta Block,
 	if !useSpeckAVX2 {
 		return false
 	}
-	var p diffPlanes128
-
-	// Key matrices → planes per group, then interleave duplicated
-	// [g0, g1, g0, g1]. Plane groups follow PackKeyRow: l2 ‖ l1 ‖ l0 ‖ rk0.
 	var m0, m1 [64]uint64
 	copy(m0[:], keyRows[0:64])
 	copy(m1[:], keyRows[64:128])
 	bits.Transpose64(&m0)
 	bits.Transpose64(&m1)
+	var mp0, mp1 [32]uint64
+	bits.TransposeRows32((*[64]uint32)(ptRows[0:64]), &mp0)
+	bits.TransposeRows32((*[64]uint32)(ptRows[64:128]), &mp1)
+	return encryptDiffPlanes128Accel(&m0, &m1, &mp0, &mp1, delta, n, out)
+}
+
+func encryptDiffPlanes128Accel(m0, m1 *[64]uint64, mp0, mp1 *[32]uint64, delta Block, n int, out *[128]uint32) bool {
+	if !useSpeckAVX2 {
+		return false
+	}
+	var p diffPlanes128
+
+	// Key planes per group interleave duplicated [g0, g1, g0, g1].
+	// Plane groups follow PackKeyRow: l2 ‖ l1 ‖ l0 ‖ rk0.
 	for bit := 0; bit < 16; bit++ {
 		p.l[2][bit] = [4]uint64{m0[bit], m1[bit], m0[bit], m1[bit]}
 		p.l[1][bit] = [4]uint64{m0[16+bit], m1[16+bit], m0[16+bit], m1[16+bit]}
@@ -79,11 +89,8 @@ func encryptDiff128Accel(keyRows *[128]uint64, ptRows *[128]uint32, delta Block,
 		p.rk[0][bit] = [4]uint64{m0[48+bit], m1[48+bit], m0[48+bit], m1[48+bit]}
 	}
 
-	// Plaintext lanes → planes; the b state is the a state with the
-	// δ planes complemented, exactly as in the 64-lane kernel.
-	var mp0, mp1 [32]uint64
-	bits.TransposeRows32((*[64]uint32)(ptRows[0:64]), &mp0)
-	bits.TransposeRows32((*[64]uint32)(ptRows[64:128]), &mp1)
+	// The b state is the a state with the δ planes complemented,
+	// exactly as in the 64-lane kernel.
 	for bit := 0; bit < 16; bit++ {
 		dx := -(uint64(delta.X) >> bit & 1)
 		dy := -(uint64(delta.Y) >> bit & 1)

@@ -5,6 +5,7 @@ package speck
 import (
 	"testing"
 
+	"repro/internal/bits"
 	"repro/internal/prng"
 )
 
@@ -30,9 +31,31 @@ func TestEncryptDiff128AccelMatchesFallback(t *testing.T) {
 		}
 		useSpeckAVX2 = false
 		EncryptDiffSliced128(&keyRows, &ptRows, GohrDelta, n, &fallback)
-		useSpeckAVX2 = true
 		if accel != fallback {
+			useSpeckAVX2 = true
 			t.Fatalf("trial %d (n=%d): AVX2 kernel diverges from scalar fallback", trial, n)
+		}
+
+		// Same check for the plane-form entry's two dispatch arms. The
+		// planes are clobbered, so each arm gets a fresh transpose.
+		planes := func() (m0, m1 [64]uint64, mp0, mp1 [32]uint64) {
+			copy(m0[:], keyRows[0:64])
+			copy(m1[:], keyRows[64:128])
+			bits.Transpose64(&m0)
+			bits.Transpose64(&m1)
+			bits.TransposeRows32((*[64]uint32)(ptRows[0:64]), &mp0)
+			bits.TransposeRows32((*[64]uint32)(ptRows[64:128]), &mp1)
+			return
+		}
+		var pFall [128]uint32
+		m0, m1, mp0, mp1 := planes()
+		EncryptDiffPlanes128(&m0, &m1, &mp0, &mp1, GohrDelta, n, &pFall)
+		useSpeckAVX2 = true
+		var pAccel [128]uint32
+		m0, m1, mp0, mp1 = planes()
+		EncryptDiffPlanes128(&m0, &m1, &mp0, &mp1, GohrDelta, n, &pAccel)
+		if pAccel != accel || pFall != accel {
+			t.Fatalf("trial %d (n=%d): plane-form entry diverges from row-form kernel", trial, n)
 		}
 	}
 }

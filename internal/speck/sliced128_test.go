@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bits"
 	"repro/internal/prng"
 	"repro/internal/speck"
 	"repro/internal/testkit"
@@ -80,6 +81,38 @@ func TestEncryptDiffSliced128MatchesScalar(t *testing.T) {
 			if out[l] != want {
 				return fmt.Errorf("lane %d rounds %d: got %#08x want %#08x", l, c.Rounds, out[l], want)
 			}
+		}
+		return nil
+	})
+}
+
+// TestEncryptDiffPlanes128 pins the plane-form entry against the
+// row-form kernel: transposing the packed rows by hand (per 64-lane
+// group) and calling the planes entry must reproduce
+// EncryptDiffSliced128 exactly.
+func TestEncryptDiffPlanes128(t *testing.T) {
+	testkit.Check(t, "speck-sliced128-planes", sliced128Cases(), func(c sliced128Case) error {
+		var keyRows [128]uint64
+		var ptRows [128]uint32
+		for l := 0; l < 128; l++ {
+			k := c.Keys[l]
+			keyRows[l] = speck.PackKeyRow(k[0], k[1], k[2], k[3])
+			ptRows[l] = speck.PackBlockRow(c.Blocks[l])
+		}
+		var want [128]uint32
+		speck.EncryptDiffSliced128(&keyRows, &ptRows, speck.GohrDelta, c.Rounds, &want)
+		var m0, m1 [64]uint64
+		copy(m0[:], keyRows[0:64])
+		copy(m1[:], keyRows[64:128])
+		bits.Transpose64(&m0)
+		bits.Transpose64(&m1)
+		var mp0, mp1 [32]uint64
+		bits.TransposeRows32((*[64]uint32)(ptRows[0:64]), &mp0)
+		bits.TransposeRows32((*[64]uint32)(ptRows[64:128]), &mp1)
+		var got [128]uint32
+		speck.EncryptDiffPlanes128(&m0, &m1, &mp0, &mp1, speck.GohrDelta, c.Rounds, &got)
+		if got != want {
+			return fmt.Errorf("plane-form entry differs from row-form kernel")
 		}
 		return nil
 	})

@@ -28,7 +28,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DATE="${BENCH_DATE:-$(date +%Y%m%d)}"
-OUT="BENCH_${DATE}.json"
+STAMP="$DATE"
+OUT="BENCH_${STAMP}.json"
+# Same-day reruns must not clobber an already-committed snapshot — that
+# would silently rewrite the perf trajectory the regression gate replays.
+# Suffix repeat runs b..z instead (BENCH_20260808.json, then
+# BENCH_20260808b.json, ...), matching the stamps benchdiff derives from
+# the filename.
+if [[ -e "$OUT" ]]; then
+  for s in b c d e f g h i j k l m n o p q r s t u v w x y z; do
+    if [[ ! -e "BENCH_${DATE}${s}.json" ]]; then
+      STAMP="${DATE}${s}"
+      OUT="BENCH_${STAMP}.json"
+      break
+    fi
+  done
+  if [[ -e "$OUT" ]]; then
+    echo "bench: all snapshot suffixes for ${DATE} are taken; set BENCH_DATE" >&2
+    exit 1
+  fi
+fi
 BENCHTIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 MP="${BENCH_MP:-4}"
@@ -41,14 +60,16 @@ trap 'rm -f "$TMP"' EXIT
 
 # Root package: dataset generation, batched inference, matrix kernels.
 # internal/nn: the training engine (BenchmarkFit) and kernel micro-benchmarks.
+# internal/prng: the vectorized positional draw kernels feeding the
+# sliced dataset path (BenchmarkSeedStream, BenchmarkDrawBatch).
 # internal/gimli + internal/speck + internal/simon + internal/simeck +
 # internal/chaskey + internal/gift: the scalar, interleaved and ×64
 # bitsliced cipher kernels behind the packed dataset fast path.
 # internal/serve: the full HTTP classify path through the
 # micro-batching scheduler (BenchmarkServeClassify).
-go test . ./internal/nn/ ./internal/gimli/ ./internal/speck/ ./internal/simon/ \
+go test . ./internal/nn/ ./internal/prng/ ./internal/gimli/ ./internal/speck/ ./internal/simon/ \
     ./internal/simeck/ ./internal/chaskey/ ./internal/gift/ ./internal/serve/ -run '^$' \
-    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|Gift64Encrypt|ServeClassify' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|Gift64Encrypt|ServeClassify|DrawBatch|SeedStream' \
     -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$TMP"
 
 # Scaling pass: the sharded hot paths again at GOMAXPROCS>1.
@@ -58,7 +79,7 @@ if [[ "$MP" != "0" ]]; then
       -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee -a "$TMP"
 fi
 
-go run ./cmd/benchdiff -snapshot "$OUT" -date "$DATE" < "$TMP"
+go run ./cmd/benchdiff -snapshot "$OUT" -date "$STAMP" < "$TMP"
 echo "bench: wrote $OUT"
 
 if [ -n "$PREV" ]; then

@@ -42,6 +42,7 @@ if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
       "./internal/bits FuzzToFloatsRoundTrip" \
       "./internal/bits FuzzHexRoundTrip" \
       "./internal/bits FuzzBitOps" \
+      "./internal/prng FuzzDrawBatch" \
       "./internal/nn FuzzLoadArbitraryBytes" \
       "./internal/nn FuzzSaveLoadRoundTrip" \
       "./internal/core FuzzLoadDistinguisher" \
@@ -106,6 +107,7 @@ check_cover() {
   echo "coverage gate: $pkg ${pct}% (floor ${floor}%)"
 }
 check_cover ./internal/core    95.0
+check_cover ./internal/prng    94.0
 check_cover ./internal/nn      93.7
 check_cover ./internal/serve   85.0
 check_cover ./internal/metrics 90.0
