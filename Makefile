@@ -18,6 +18,10 @@ bench:
 # Start the batched inference service (cmd/served) on :8080. Preload
 # models saved with `distinguisher -savedist` via SERVE_FLAGS, e.g.
 #   make serve SERVE_FLAGS='-model speck5=models/speck5.gob'
+# Add '-ledger audit.log -anchor audit.anchor' for the audit ledger,
+# or '-router -replica http://...' to front a replica fleet
+# (README "Cluster quickstart", DESIGN.md §9). Verify ledgers offline
+# with `go run ./cmd/ledgerverify`.
 serve:
 	go run ./cmd/served $(SERVE_FLAGS)
 

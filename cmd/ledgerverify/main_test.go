@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// fixture writes a small valid ledger (5 records, batches of 2), its
+// anchor, and a proof file for seq, returning the three paths.
+func fixture(t *testing.T, seq uint64) (logPath, anchorPath, proofPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	logPath = filepath.Join(dir, "audit.log")
+	anchorPath = filepath.Join(dir, "audit.anchor")
+	proofPath = filepath.Join(dir, "proof.json")
+	l, err := ledger.Open(logPath, ledger.Config{MaxBatch: 2, MaxDelay: time.Hour, AnchorPath: anchorPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rec := ledger.Record{Kind: ledger.KindVerdict, Model: "speck4", Verdict: "CIPHER", Queries: 64 + i}
+		if i == 0 {
+			rec = ledger.Record{Kind: ledger.KindAdmit, Model: "speck4", Path: "speck4.gob"}
+		}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := l.Proof(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(proofPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return logPath, anchorPath, proofPath
+}
+
+func TestValidateFlags(t *testing.T) {
+	for _, c := range []struct {
+		log, proof, anchor, wantErr string
+	}{
+		{log: "l", anchor: "a"},
+		{proof: "p", anchor: "a"},
+		{log: "l", proof: "p", anchor: "a"},
+		{log: "l", proof: "p", wantErr: "-anchor is required"},
+		{anchor: "a", wantErr: "nothing to verify"},
+	} {
+		err := validateFlags(c.log, c.proof, c.anchor)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateFlags(%q,%q,%q) rejected: %v", c.log, c.proof, c.anchor, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateFlags(%q,%q,%q) = %v, want %q", c.log, c.proof, c.anchor, err, c.wantErr)
+		}
+	}
+}
+
+func TestVerifyCleanLogAndProof(t *testing.T) {
+	logPath, anchorPath, proofPath := fixture(t, 3)
+	var out bytes.Buffer
+	if err := run(logPath, proofPath, anchorPath, &out); err != nil {
+		t.Fatalf("clean artifacts failed verification: %v", err)
+	}
+	for _, want := range []string{"log: OK", "5 record(s)", "proof: OK", "record 3", "verdict CIPHER"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDetectsLogTamper: one flipped byte in the log fails offline
+// verification with an error that names the damage.
+func TestDetectsLogTamper(t *testing.T) {
+	logPath, anchorPath, _ := fixture(t, 1)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, []byte("CIPHER"))
+	raw[i] ^= 0x01
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(logPath, "", anchorPath, new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "merkle root mismatch") {
+		t.Fatalf("tampered log verified, err = %v", err)
+	}
+}
+
+// TestDetectsProofTamper: relabeling the proven record fails the
+// proof check.
+func TestDetectsProofTamper(t *testing.T) {
+	_, anchorPath, proofPath := fixture(t, 2)
+	raw, err := os.ReadFile(proofPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte("speck4"), []byte("speck5"), 1)
+	if err := os.WriteFile(proofPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run("", proofPath, anchorPath, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("tampered proof verified")
+	}
+}
+
+// TestDetectsAnchorTamper: a wrong anchor (stale or forged) is caught
+// when the log replays to a different chain head.
+func TestDetectsAnchorTamper(t *testing.T) {
+	logPath, anchorPath, _ := fixture(t, 1)
+	var a ledger.Anchor
+	raw, err := os.ReadFile(anchorPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatal(err)
+	}
+	head := []byte(a.Chain)
+	if head[0] == 'f' {
+		head[0] = '0'
+	} else {
+		head[0] = 'f'
+	}
+	a.Chain = string(head)
+	forged, _ := json.Marshal(a)
+	forged = append(forged, '\n') // canonical anchor form: Marshal + newline
+	if err := os.WriteFile(anchorPath, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(logPath, "", anchorPath, new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "anchor chain mismatch") {
+		t.Fatalf("forged anchor accepted, err = %v", err)
+	}
+}
+
+func TestMissingFiles(t *testing.T) {
+	_, anchorPath, _ := fixture(t, 1)
+	if err := run("/no/such.log", "", anchorPath, new(bytes.Buffer)); err == nil {
+		t.Fatal("missing log accepted")
+	}
+	if err := run("", "/no/such.json", anchorPath, new(bytes.Buffer)); err == nil {
+		t.Fatal("missing proof accepted")
+	}
+	if err := run("", "", "/no/such.anchor", new(bytes.Buffer)); err == nil {
+		t.Fatal("missing anchor accepted")
+	}
+}

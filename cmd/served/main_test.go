@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestModelFlags(t *testing.T) {
 	var m modelFlags
@@ -23,12 +27,118 @@ func TestModelFlags(t *testing.T) {
 	}
 }
 
-func TestRunRejectsBadBounds(t *testing.T) {
-	for _, c := range []struct{ batch, workers, queue int }{
-		{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2},
-	} {
-		if err := run(":0", nil, c.batch, 1, c.workers, c.queue, 1, 1); err == nil {
-			t.Errorf("run accepted max-batch=%d workers=%d queue=%d", c.batch, c.workers, c.queue)
+func TestURLFlags(t *testing.T) {
+	var u urlFlags
+	if err := u.Set("http://127.0.0.1:9001/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Set("https://replica-b:9002"); err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 2 || u[0] != "http://127.0.0.1:9001" {
+		t.Fatalf("parsed %+v (trailing slash should be trimmed)", u)
+	}
+	if got := u.String(); got != "http://127.0.0.1:9001,https://replica-b:9002" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "127.0.0.1:9001", "ftp://x"} {
+		if err := u.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
 		}
+	}
+}
+
+// replicaDefaults mirrors the flag defaults so validateFlags cases
+// only state what they override.
+func replicaDefaults() options {
+	return options{
+		addr: ":8080", maxBatch: 256, maxDelay: 2 * time.Millisecond,
+		workers: 2, queue: 256, timeout: 5 * time.Second, drain: 10 * time.Second,
+		ledgerBatch: 64, ledgerDelay: 500 * time.Millisecond,
+		replication: 2, vnodes: 64, probeInterval: time.Second, failAfter: 2,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mod     func(*options)
+		set     []string
+		wantErr string // "" = accept
+	}{
+		{name: "replica defaults ok"},
+		{name: "bad max-batch", mod: func(o *options) { o.maxBatch = 0 }, wantErr: "max-batch"},
+		{name: "bad workers", mod: func(o *options) { o.workers = -1 }, wantErr: "workers"},
+		{name: "bad queue", mod: func(o *options) { o.queue = 0 }, wantErr: "queue"},
+		{name: "anchor without ledger", mod: func(o *options) { o.anchorPath = "a.anchor" }, wantErr: "-anchor requires -ledger"},
+		{name: "ledger with anchor ok", mod: func(o *options) { o.ledgerPath = "l.log"; o.anchorPath = "a.anchor" }},
+		{name: "ledger-batch without ledger", set: []string{"ledger-batch"}, wantErr: "require -ledger"},
+		{name: "bad ledger-batch", mod: func(o *options) { o.ledgerPath = "l.log"; o.ledgerBatch = 0 }, set: []string{"ledger-batch"}, wantErr: "ledger-batch"},
+		{name: "bad ledger-delay", mod: func(o *options) { o.ledgerPath = "l.log"; o.ledgerDelay = 0 }, set: []string{"ledger-delay"}, wantErr: "ledger-delay"},
+		{name: "replica flag outside router mode", set: []string{"replica"}, wantErr: "only applies to -router"},
+		{name: "peer flag outside router mode", set: []string{"peer"}, wantErr: "only applies to -router"},
+		{
+			name: "router ok",
+			mod:  func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"} },
+		},
+		{
+			name:    "router without replicas",
+			mod:     func(o *options) { o.router = true },
+			wantErr: "at least one -replica",
+		},
+		{
+			name:    "router rejects model flag",
+			mod:     func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"} },
+			set:     []string{"model"},
+			wantErr: "only applies to replica mode",
+		},
+		{
+			name:    "router rejects ledger flag",
+			mod:     func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"} },
+			set:     []string{"ledger"},
+			wantErr: "only applies to replica mode",
+		},
+		{
+			name:    "router bad replication",
+			mod:     func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"}; o.replication = 0 },
+			wantErr: "replication",
+		},
+		{
+			name:    "router bad vnodes",
+			mod:     func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"}; o.vnodes = 0 },
+			wantErr: "vnodes",
+		},
+		{
+			name:    "router bad probe interval",
+			mod:     func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"}; o.probeInterval = 0 },
+			wantErr: "probe-interval",
+		},
+		{
+			name:    "router bad fail-after",
+			mod:     func(o *options) { o.router = true; o.replicas = urlFlags{"http://r1"}; o.failAfter = 0 },
+			wantErr: "fail-after",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := replicaDefaults()
+			if c.mod != nil {
+				c.mod(&o)
+			}
+			set := map[string]bool{}
+			for _, s := range c.set {
+				set[s] = true
+			}
+			err := validateFlags(&o, set)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+			}
+		})
 	}
 }

@@ -1,0 +1,99 @@
+// Package cluster shards the serving layer horizontally: a Router
+// fronts N served replicas, owns a consistent-hash ring keyed by model
+// name, fans hot reloads out to the replicas that own each model, and
+// re-routes around replicas its health prober marks dead. Peer routers
+// exchange replica liveness over a gossip endpoint so a fleet of
+// routers converges on one view of the cluster.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over replica addresses. Each replica
+// contributes VNodes virtual points (FNV-1a of "addr#i") so load
+// spreads evenly and a dead replica's keys scatter across the
+// survivors instead of piling onto one successor. The ring itself is
+// immutable after construction; liveness is applied at lookup time via
+// the alive filter, which is what makes failover instantaneous — no
+// ring rebuild, the walk simply skips dead nodes.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring with vnodes virtual points per node
+// (default 64).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{nodes: append([]string(nil), nodes...)}
+	for _, n := range r.nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hash64 is FNV-1a 64 with a murmur-style finalizer. Raw FNV of
+// short, near-identical strings ("addr#0", "addr#1", …) clusters on
+// the ring badly enough to starve whole nodes; the avalanche mix
+// spreads the points uniformly around the circle.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Nodes returns the ring's members in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owners returns up to n distinct nodes responsible for key: the walk
+// starts at the first virtual point clockwise of hash(key) and
+// collects distinct nodes, skipping any the alive filter rejects
+// (nil means everything is alive). With replication n ≥ 2 the second
+// owner is exactly the node that inherits the key when the first
+// dies — it already holds the key's model, so failover needs no data
+// movement.
+func (r *Ring) Owners(key string, n int, alive func(string) bool) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if alive != nil && !alive(p.node) {
+			continue
+		}
+		owners = append(owners, p.node)
+	}
+	return owners
+}

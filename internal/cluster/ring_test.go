@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://replica-%d", i)
+	}
+	return nodes
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(ringNodes(5), 64)
+	b := NewRing(ringNodes(5), 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		ga, gb := a.Owners(key, 2, nil), b.Owners(key, 2, nil)
+		if len(ga) != 2 || len(gb) != 2 || ga[0] != gb[0] || ga[1] != gb[1] {
+			t.Fatalf("key %q: %v vs %v", key, ga, gb)
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(ringNodes(4), 32)
+	for i := 0; i < 200; i++ {
+		owners := r.Owners(fmt.Sprintf("m%d", i), 3, nil)
+		if len(owners) != 3 {
+			t.Fatalf("key m%d: %d owners, want 3", i, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key m%d: duplicate owner %s in %v", i, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing(ringNodes(4), 64)
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("model-%d", i), 1, nil)[0]]++
+	}
+	// With 64 vnodes, primary ownership should land within a loose 2x
+	// band of the fair share — the point is no node is starved or
+	// doubled, not a perfect split.
+	fair := keys / 4
+	for node, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair %d): spread too uneven %v", node, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingFailover: killing a node moves only its keys, each onto that
+// key's previous second owner, and every other key's primary is
+// untouched. This is the re-route invariant the router's zero-failure
+// failover rests on.
+func TestRingFailover(t *testing.T) {
+	r := NewRing(ringNodes(4), 64)
+	dead := "http://replica-2"
+	aliveFn := func(n string) bool { return n != dead }
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		before := r.Owners(key, 2, nil)
+		after := r.Owners(key, 2, aliveFn)
+		if before[0] != dead {
+			if after[0] != before[0] {
+				t.Fatalf("key %q: primary moved %s→%s though %s was not its owner", key, before[0], after[0], dead)
+			}
+			continue
+		}
+		moved++
+		if after[0] != before[1] {
+			t.Fatalf("key %q: expected successor %s to take over, got %s", key, before[1], after[0])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the dead node; test is vacuous")
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := &Ring{}
+	if got := empty.Owners("x", 2, nil); got != nil {
+		t.Fatalf("empty ring returned owners %v", got)
+	}
+	one := NewRing(ringNodes(1), 8)
+	if got := one.Owners("x", 3, nil); len(got) != 1 {
+		t.Fatalf("1-node ring returned %v, want the single node once", got)
+	}
+	if got := one.Owners("x", 0, nil); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+	allDead := NewRing(ringNodes(3), 8)
+	if got := allDead.Owners("x", 2, func(string) bool { return false }); len(got) != 0 {
+		t.Fatalf("all-dead ring returned owners %v", got)
+	}
+	if got := NewRing(ringNodes(3), 8).Nodes(); len(got) != 3 {
+		t.Fatalf("Nodes() = %v", got)
+	}
+}

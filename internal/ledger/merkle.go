@@ -1,0 +1,129 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Hash is the ledger's digest type (SHA-256).
+type Hash = [sha256.Size]byte
+
+// Domain-separation prefixes, RFC 6962 style: a leaf hash can never
+// collide with an interior node hash, and the batch-chain hash lives in
+// a third domain so a chain value cannot be replayed as a tree node.
+const (
+	domainLeaf  = 0x00
+	domainNode  = 0x01
+	domainChain = 0x02
+)
+
+// leafHash hashes one raw record line (without its trailing newline).
+// Hashing the exact bytes that sit in the log file — rather than a
+// re-encoded canonical form — is what makes tamper evidence total: any
+// single-byte change to a record line changes its leaf.
+func leafHash(line []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{domainLeaf})
+	h.Write(line)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree hashes into their parent.
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{domainNode})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// chainHash seals a batch onto the chain: the previous chain value, the
+// batch's Merkle root, and the batch's position and size. Committing
+// (batch, count) here means a verifier cannot be shown the right root
+// at the wrong position, or a tree quietly re-padded to a different
+// leaf count.
+func chainHash(prev, root Hash, batch, count uint64) Hash {
+	h := sha256.New()
+	h.Write([]byte{domainChain})
+	h.Write(prev[:])
+	h.Write(root[:])
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], batch)
+	binary.BigEndian.PutUint64(b[8:], count)
+	h.Write(b[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint returns the largest power of two strictly less than n
+// (n ≥ 2) — the left-subtree width of the RFC 6962 tree shape.
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// merkleRoot computes the RFC 6962 Merkle tree hash over the given
+// leaf hashes. Batches are never empty, so the empty tree is not
+// defined here.
+func merkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// inclusionPath returns the audit path for leaf m: the sibling subtree
+// hashes needed to recompute the root, ordered leaf-to-root.
+func inclusionPath(leaves []Hash, m int) []Hash {
+	if len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if m < k {
+		return append(inclusionPath(leaves[:k], m), merkleRoot(leaves[k:]))
+	}
+	return append(inclusionPath(leaves[k:], m-k), merkleRoot(leaves[:k]))
+}
+
+// rootFromPath folds an audit path back into a root (the RFC 9162
+// §2.1.3.2 verification walk). index is the leaf position and size the
+// batch's leaf count; the path length must match the tree shape
+// exactly, so a truncated or padded path is rejected rather than
+// silently accepted.
+func rootFromPath(leaf Hash, index, size int, path []Hash) (Hash, error) {
+	if size < 1 || index < 0 || index >= size {
+		return Hash{}, fmt.Errorf("leaf index %d outside batch of %d record(s)", index, size)
+	}
+	fn, sn := uint64(index), uint64(size-1)
+	r := leaf
+	for i, p := range path {
+		if sn == 0 {
+			return Hash{}, fmt.Errorf("audit path has %d node(s) too many for batch of %d", len(path)-i, size)
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			for fn&1 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return Hash{}, fmt.Errorf("audit path too short for batch of %d record(s)", size)
+	}
+	return r, nil
+}

@@ -1,0 +1,230 @@
+package ledger
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flipHexDigit returns s with the hex digit at position i replaced by a
+// different hex digit, so the string stays valid hex of the same
+// length but denotes a different value.
+func flipHexDigit(s string, i int) string {
+	b := []byte(s)
+	if b[i] == '0' {
+		b[i] = '1'
+	} else {
+		b[i] = '0'
+	}
+	return string(b)
+}
+
+// fieldRegion locates the value of a hex field like "root":"…" inside
+// data, starting the search at from, and returns the offset of the
+// first hex digit.
+func fieldRegion(t *testing.T, data []byte, field string, from int) int {
+	t.Helper()
+	marker := []byte(`"` + field + `":"`)
+	i := bytes.Index(data[from:], marker)
+	if i < 0 {
+		t.Fatalf("field %q not found in log", field)
+	}
+	return from + i + len(marker)
+}
+
+// TestTamperTableLog: flipping one byte anywhere in the log file —
+// inside a record, a seal's Merkle root, its chained root, or its
+// prev-chain — must fail verification with an error pinpointing the
+// broken element.
+func TestTamperTableLog(t *testing.T) {
+	logPath, _, anchor := buildLedger(t, t.TempDir(), 9, 3)
+	valid, err := readAll(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyLog(valid, &anchor); err != nil {
+		t.Fatalf("pristine log fails verify: %v", err)
+	}
+
+	// Locate interesting regions: a byte inside the second record's
+	// model name, and the second seal's root/chain/prev hex fields.
+	recOff := bytes.Index(valid, []byte(`"model":"speck1"`))
+	if recOff < 0 {
+		t.Fatal("record region not found")
+	}
+	firstSeal := bytes.Index(valid, []byte(`{"s":{`))
+	secondSeal := firstSeal + 1 + bytes.Index(valid[firstSeal+1:], []byte(`{"s":{`))
+	cases := []struct {
+		name string
+		off  int
+		want string // substring the pinpointing error must contain
+	}{
+		{"record byte", recOff + len(`"model":"`), "merkle root mismatch"},
+		{"sealed merkle root", fieldRegion(t, valid, "root", secondSeal), "root mismatch"},
+		{"chained root", fieldRegion(t, valid, "chain", secondSeal), "chain hash mismatch"},
+		{"prev chain", fieldRegion(t, valid, "prev", secondSeal), "prev-chain mismatch"},
+		{"record seq digit", bytes.Index(valid, []byte(`"seq":1`)) + len(`"seq":`), "seq"},
+		// The fuzz-found hole: turning the seal's "batch" key into an
+		// unknown key makes json.Unmarshal zero the field, and 0 is the
+		// genuine value for the first seal — only the canonical-form
+		// check catches it.
+		{"seal key byte", firstSeal + len(`{"s":{"`), "canonical form"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tampered := append([]byte(nil), valid...)
+			if tampered[tc.off] == '0' {
+				tampered[tc.off] = '1'
+			} else {
+				tampered[tc.off] = '0'
+			}
+			if bytes.Equal(tampered, valid) {
+				t.Fatal("tamper did not change the log")
+			}
+			_, err := VerifyLog(tampered, &anchor)
+			if err == nil {
+				t.Fatal("tampered log verified")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not pinpoint %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTamperTableProof: flipping one byte in any part of an inclusion
+// proof — the record line, a leaf-level sibling hash, an interior node
+// hash, the prev chain, a follow-on root — or in the anchor itself must
+// fail VerifyInclusion.
+func TestTamperTableProof(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir+"/l.log", Config{MaxBatch: 4, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Two full batches of 4 → proofs from batch 0 have a 2-node path
+	// (leaf sibling + interior node) and one follow-on seal.
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	anchor := l.Anchor()
+	proof, err := l.Proof(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Path) != 2 || len(proof.Follow) != 1 {
+		t.Fatalf("proof shape path=%d follow=%d, want 2/1", len(proof.Path), len(proof.Follow))
+	}
+	if _, err := VerifyInclusion(proof, anchor); err != nil {
+		t.Fatalf("pristine proof fails: %v", err)
+	}
+
+	clone := func() Proof {
+		p := *proof
+		p.Path = append([]string(nil), proof.Path...)
+		p.Follow = append([]FollowSeal(nil), proof.Follow...)
+		return p
+	}
+	cases := []struct {
+		name   string
+		mutate func(p *Proof)
+		anchor Anchor
+		want   string
+	}{
+		{"record line byte", func(p *Proof) { p.Line = strings.Replace(p.Line, "speck", "sqeck", 1) }, anchor, "chain mismatch"},
+		{"leaf hash", func(p *Proof) { p.Path[0] = flipHexDigit(p.Path[0], 5) }, anchor, "chain mismatch"},
+		{"interior node", func(p *Proof) { p.Path[1] = flipHexDigit(p.Path[1], 40) }, anchor, "chain mismatch"},
+		{"prev chain", func(p *Proof) { p.Prev = flipHexDigit(p.Prev, 0) }, anchor, "chain mismatch"},
+		{"follow root", func(p *Proof) { p.Follow[0].Root = flipHexDigit(p.Follow[0].Root, 9) }, anchor, "chain mismatch"},
+		{"seq relabel", func(p *Proof) { p.Seq = 3 }, anchor, "seq"},
+		{"leaf index", func(p *Proof) { p.Index = 2 }, anchor, "chain mismatch"},
+		{"dropped follow", func(p *Proof) { p.Follow = nil }, anchor, "batch"},
+		{"bad path hex", func(p *Proof) { p.Path[0] = "zz" }, anchor, "hex digest"},
+		{"truncated path", func(p *Proof) { p.Path = p.Path[:1] }, anchor, "too short"},
+		{"anchor chain", func(p *Proof) {}, Anchor{Batches: anchor.Batches, Records: anchor.Records, Chain: flipHexDigit(anchor.Chain, 63)}, "chain mismatch"},
+		{"anchor batches", func(p *Proof) {}, Anchor{Batches: anchor.Batches + 1, Records: anchor.Records, Chain: anchor.Chain}, "anchor has"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := clone()
+			tc.mutate(&p)
+			_, err := VerifyInclusion(&p, tc.anchor)
+			if err == nil {
+				t.Fatal("tampered proof verified")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not pinpoint %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTamperAnchorFile: a single-byte flip anywhere in the detached
+// anchor file — including inside a JSON key, which Unmarshal alone
+// would silently ignore — must fail LoadAnchorFile or the subsequent
+// VerifyLog against the loaded anchor.
+func TestTamperAnchorFile(t *testing.T) {
+	logPath, anchorPath, _ := buildLedger(t, t.TempDir(), 7, 3)
+	logData, err := readAll(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := readAll(anchorPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := range valid {
+		tampered := append([]byte(nil), valid...)
+		tampered[off] ^= 0x11
+		if err := os.WriteFile(anchorPath, tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		a, err := LoadAnchorFile(anchorPath)
+		if err != nil {
+			continue // detected at load
+		}
+		if _, err := VerifyLog(logData, &a); err == nil {
+			t.Fatalf("anchor tamper at offset %d (%q→%q) went undetected", off, valid[off], tampered[off])
+		}
+	}
+}
+
+// FuzzLedgerVerify exercises the total tamper-evidence claim: VerifyLog
+// never panics on arbitrary bytes, accepts the pristine log, and
+// rejects EVERY single-byte change to it.
+func FuzzLedgerVerify(f *testing.F) {
+	dir := f.TempDir()
+	logPath, _, anchor := buildLedger(f, dir, 7, 3)
+	valid, err := readAll(logPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := VerifyLog(valid, &anchor); err != nil {
+		f.Fatalf("pristine log fails verify: %v", err)
+	}
+	f.Add([]byte("{}\n"), uint16(0), byte(1))
+	f.Add(append([]byte(nil), valid...), uint16(11), byte(0x80))
+	f.Add([]byte(`{"s":{"batch":0}}`+"\n"), uint16(3), byte(4))
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16, x byte) {
+		// Arbitrary bytes must never panic (errors are fine).
+		VerifyLog(data, &anchor)
+		VerifyLog(data, nil)
+		// Any single-byte change to the valid log must be detected.
+		tampered := append([]byte(nil), valid...)
+		i := int(pos) % len(tampered)
+		tampered[i] ^= x | 1 // never a zero XOR
+		if _, err := VerifyLog(tampered, &anchor); err == nil {
+			t.Fatalf("single-byte tamper at offset %d (xor %#x) went undetected", i, x|1)
+		}
+	})
+}
+
+func readAll(path string) ([]byte, error) { return os.ReadFile(path) }

@@ -1,0 +1,216 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// logState is the result of replaying a log: the sealed batches (lines
+// and leaves retained only when keep is set), the chain head, and the
+// next sequence number.
+type logState struct {
+	batches []batch
+	chain   Hash
+	next    uint64 // next seq to assign (1-based)
+}
+
+// replayLog parses and verifies raw log bytes line by line: sequence
+// numbers must be contiguous, every seal must match the records it
+// covers, and every chain link must recompute. Errors pinpoint the
+// first line that breaks.
+func replayLog(data []byte, keep bool) (*logState, error) {
+	st := &logState{next: 1}
+	var pend []pendingRec
+	var firstPending uint64
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("line %d: truncated (no trailing newline)", lineNo)
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		var env logLine
+		if err := json.Unmarshal(line, &env); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		// Every line is written by json.Marshal of logLine, so its bytes
+		// must round-trip through parse→re-marshal unchanged. Without
+		// this check a flipped byte inside a JSON key (e.g. "batch" →
+		// "Qatch") silently drops the field to its zero value, which for
+		// batch 0 is indistinguishable from the genuine seal.
+		canon, err := json.Marshal(&env)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: re-encoding: %v", lineNo, err)
+		}
+		if !bytes.Equal(canon, line) {
+			return nil, fmt.Errorf("line %d: not in canonical form (a key or the encoding was tampered)", lineNo)
+		}
+		switch {
+		case env.R != nil && env.S == nil:
+			if env.R.Seq != st.next {
+				return nil, fmt.Errorf("line %d: record seq %d, want %d", lineNo, env.R.Seq, st.next)
+			}
+			if len(pend) == 0 {
+				firstPending = st.next
+			}
+			st.next++
+			// Hash the exact line bytes (copied: data aliases the input).
+			lc := append([]byte(nil), line...)
+			pend = append(pend, pendingRec{line: lc, leaf: leafHash(lc)})
+		case env.S != nil && env.R == nil:
+			s := env.S
+			if s.Batch != uint64(len(st.batches)) {
+				return nil, fmt.Errorf("line %d: seal for batch %d, want %d", lineNo, s.Batch, len(st.batches))
+			}
+			if s.Count != len(pend) {
+				return nil, fmt.Errorf("line %d: batch %d seals %d record(s), %d precede it", lineNo, s.Batch, s.Count, len(pend))
+			}
+			if len(pend) == 0 {
+				return nil, fmt.Errorf("line %d: batch %d is empty", lineNo, s.Batch)
+			}
+			if s.First != firstPending {
+				return nil, fmt.Errorf("line %d: batch %d first seq %d, want %d", lineNo, s.Batch, s.First, firstPending)
+			}
+			prev, err := decodeHash(fmt.Sprintf("batch %d prev", s.Batch), s.Prev)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if prev != st.chain {
+				return nil, fmt.Errorf("line %d: batch %d prev-chain mismatch: seal has %s, chain is %s",
+					lineNo, s.Batch, s.Prev, hex.EncodeToString(st.chain[:]))
+			}
+			leaves := make([]Hash, len(pend))
+			lines := make([][]byte, len(pend))
+			for i, p := range pend {
+				leaves[i] = p.leaf
+				lines[i] = p.line
+			}
+			root := merkleRoot(leaves)
+			if got := hex.EncodeToString(root[:]); got != s.Root {
+				return nil, fmt.Errorf("line %d: batch %d merkle root mismatch: records hash to %s, seal says %s (a record or the root was tampered)",
+					lineNo, s.Batch, got, s.Root)
+			}
+			chain := chainHash(st.chain, root, s.Batch, uint64(s.Count))
+			if got := hex.EncodeToString(chain[:]); got != s.Chain {
+				return nil, fmt.Errorf("line %d: batch %d chain hash mismatch: computed %s, seal says %s",
+					lineNo, s.Batch, got, s.Chain)
+			}
+			b := batch{seal: *s, first: firstPending}
+			if keep {
+				b.leaves = leaves
+				b.lines = lines
+			}
+			st.batches = append(st.batches, b)
+			st.chain = chain
+			pend = nil
+		default:
+			return nil, fmt.Errorf("line %d: not exactly one of record/seal", lineNo)
+		}
+	}
+	if len(pend) > 0 {
+		return nil, fmt.Errorf("log ends with %d unsealed record(s) (missing seal)", len(pend))
+	}
+	return st, nil
+}
+
+// LogStats summarizes a verified log.
+type LogStats struct {
+	Batches uint64
+	Records uint64
+	Chain   string // hex chain head
+}
+
+// VerifyLog verifies raw log bytes end to end — structure, sequence
+// contiguity, every Merkle root, every chain link — and, when anchor is
+// non-nil, that the log's head matches the anchor. Any single-byte
+// change to the log fails with an error naming the first broken line
+// or link.
+func VerifyLog(data []byte, anchor *Anchor) (LogStats, error) {
+	st, err := replayLog(data, false)
+	if err != nil {
+		return LogStats{}, err
+	}
+	stats := LogStats{
+		Batches: uint64(len(st.batches)),
+		Records: st.next - 1,
+		Chain:   hex.EncodeToString(st.chain[:]),
+	}
+	if anchor != nil {
+		if anchor.Batches != stats.Batches {
+			return stats, fmt.Errorf("anchor covers %d batch(es), log has %d", anchor.Batches, stats.Batches)
+		}
+		if anchor.Records != stats.Records {
+			return stats, fmt.Errorf("anchor covers %d record(s), log has %d", anchor.Records, stats.Records)
+		}
+		if anchor.Chain != stats.Chain {
+			return stats, fmt.Errorf("anchor chain mismatch: log head %s, anchor %s", stats.Chain, anchor.Chain)
+		}
+	}
+	return stats, nil
+}
+
+// VerifyLogFile is VerifyLog over a file.
+func VerifyLogFile(path string, anchor *Anchor) (LogStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return LogStats{}, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return VerifyLog(data, anchor)
+}
+
+// VerifyInclusion checks a Proof against a trusted anchor, entirely
+// offline: the record line hashes to a leaf, the audit path folds to a
+// batch root, the root chains through the follow-on seals to exactly
+// the anchor's chain head and batch count. On success it returns the
+// proven Record.
+func VerifyInclusion(p *Proof, anchor Anchor) (Record, error) {
+	var env logLine
+	if err := json.Unmarshal([]byte(p.Line), &env); err != nil {
+		return Record{}, fmt.Errorf("proof record line: %v", err)
+	}
+	if env.R == nil || env.S != nil {
+		return Record{}, fmt.Errorf("proof line is not a record")
+	}
+	if env.R.Seq != p.Seq {
+		return Record{}, fmt.Errorf("proof claims seq %d but record line says %d", p.Seq, env.R.Seq)
+	}
+	leaf := leafHash([]byte(p.Line))
+	path := make([]Hash, len(p.Path))
+	for i, s := range p.Path {
+		h, err := decodeHash(fmt.Sprintf("audit path node %d", i), s)
+		if err != nil {
+			return Record{}, err
+		}
+		path[i] = h
+	}
+	root, err := rootFromPath(leaf, p.Index, p.Count, path)
+	if err != nil {
+		return Record{}, err
+	}
+	prev, err := decodeHash("proof prev-chain", p.Prev)
+	if err != nil {
+		return Record{}, err
+	}
+	chain := chainHash(prev, root, p.Batch, uint64(p.Count))
+	for i, f := range p.Follow {
+		r, err := decodeHash(fmt.Sprintf("follow seal %d root", i), f.Root)
+		if err != nil {
+			return Record{}, err
+		}
+		chain = chainHash(chain, r, p.Batch+1+uint64(i), uint64(f.Count))
+	}
+	covered := p.Batch + 1 + uint64(len(p.Follow))
+	if covered != anchor.Batches {
+		return Record{}, fmt.Errorf("proof chains through %d batch(es), anchor has %d", covered, anchor.Batches)
+	}
+	if got := hex.EncodeToString(chain[:]); got != anchor.Chain {
+		return Record{}, fmt.Errorf("chain mismatch: proof reconstructs head %s, anchor says %s (record, path or a root was tampered)",
+			got, anchor.Chain)
+	}
+	return *env.R, nil
+}

@@ -29,6 +29,39 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// CounterVec is a set of counters keyed by one label value (a model
+// name, a replica address). Counters are created on first use and live
+// forever — label cardinality is expected to be small and bounded by
+// configuration (registry size, cluster size), not by request content.
+type CounterVec struct{ m sync.Map } // string → *Counter
+
+// With returns the counter for label, creating it if needed.
+func (v *CounterVec) With(label string) *Counter {
+	if c, ok := v.m.Load(label); ok {
+		return c.(*Counter)
+	}
+	c, _ := v.m.LoadOrStore(label, &Counter{})
+	return c.(*Counter)
+}
+
+// LabeledValue is one (label, count) pair in a CounterVec snapshot.
+type LabeledValue struct {
+	Label string
+	Value uint64
+}
+
+// Snapshot returns the current counts sorted by label, for stable
+// rendering on a scrape endpoint.
+func (v *CounterVec) Snapshot() []LabeledValue {
+	var out []LabeledValue
+	v.m.Range(func(k, c any) bool {
+		out = append(out, LabeledValue{Label: k.(string), Value: c.(*Counter).Value()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
 // Gauge is an instantaneous value that can move both ways.
 type Gauge struct{ v atomic.Int64 }
 

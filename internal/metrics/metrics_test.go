@@ -148,3 +148,37 @@ func TestWindowConcurrent(t *testing.T) {
 		t.Fatalf("live = %d, want full ring 256", n)
 	}
 }
+
+func TestCounterVec(t *testing.T) {
+	var v CounterVec
+	v.With("b").Inc()
+	v.With("a").Add(3)
+	v.With("b").Inc()
+	got := v.Snapshot()
+	if len(got) != 2 || got[0] != (LabeledValue{"a", 3}) || got[1] != (LabeledValue{"b", 2}) {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if v.With("a") != v.With("a") {
+		t.Fatal("With returned distinct counters for one label")
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	var v CounterVec
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v.With([]string{"x", "y"}[g%2]).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, lv := range v.Snapshot() {
+		if lv.Value != 400 {
+			t.Fatalf("label %s = %d, want 400", lv.Label, lv.Value)
+		}
+	}
+}

@@ -85,6 +85,14 @@ type Scheduler struct {
 	Batches    *metrics.Counter   // Predictor calls
 	Shed       *metrics.Counter   // submits rejected with ErrOverloaded
 
+	// Per-model load, keyed by model name: accepted submits, accepted
+	// rows, and Predictor calls. These are what a cluster router's
+	// aggregated /metrics uses to show where each model's traffic
+	// lands.
+	ModelRequests *metrics.CounterVec
+	ModelRows     *metrics.CounterVec
+	ModelBatches  *metrics.CounterVec
+
 	stopMu   sync.RWMutex
 	stopping bool
 	inflight sync.WaitGroup // submitted tasks not yet replied to
@@ -104,12 +112,15 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 func newScheduler(cfg SchedulerConfig) *Scheduler {
 	cfg.setDefaults()
 	return &Scheduler{
-		cfg:        cfg,
-		queue:      make(chan *task, cfg.QueueDepth),
-		batches:    make(chan []*task),
-		BatchSizes: metrics.NewHistogram(uint64(cfg.MaxBatch)),
-		Batches:    &metrics.Counter{},
-		Shed:       &metrics.Counter{},
+		cfg:           cfg,
+		queue:         make(chan *task, cfg.QueueDepth),
+		batches:       make(chan []*task),
+		BatchSizes:    metrics.NewHistogram(uint64(cfg.MaxBatch)),
+		Batches:       &metrics.Counter{},
+		Shed:          &metrics.Counter{},
+		ModelRequests: &metrics.CounterVec{},
+		ModelRows:     &metrics.CounterVec{},
+		ModelBatches:  &metrics.CounterVec{},
 	}
 }
 
@@ -150,6 +161,8 @@ func (s *Scheduler) Submit(ctx context.Context, entry *Entry, rows [][]float64) 
 	select {
 	case s.queue <- t:
 		s.stopMu.RUnlock()
+		s.ModelRequests.With(entry.Name).Inc()
+		s.ModelRows.With(entry.Name).Add(uint64(len(rows)))
 	default:
 		s.inflight.Done()
 		s.stopMu.RUnlock()
@@ -322,6 +335,7 @@ func (s *Scheduler) runGroup(states map[string]*inferState, entry *Entry, group 
 	classes := st.out
 	s.Batches.Inc()
 	s.BatchSizes.Observe(uint64(rows))
+	s.ModelBatches.With(entry.Name).Inc()
 	off := 0
 	for _, t := range live {
 		n := len(t.rows)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bits"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -28,6 +29,12 @@ type Config struct {
 	// WindowSize is the latency window length for /metrics quantiles
 	// (default 1 minute).
 	WindowSize time.Duration
+	// Ledger, when set, receives a tamper-evident audit record for
+	// every model admission and every /v1/distinguish verdict, and
+	// enables the /ledger/anchor and /ledger/proof endpoints. The
+	// server does not own the ledger; the caller closes it after the
+	// server has drained.
+	Ledger *ledger.Ledger
 }
 
 func (c *Config) setDefaults() {
@@ -94,7 +101,40 @@ func newServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelsDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /ledger/anchor", s.handleLedgerAnchor)
+	s.mux.HandleFunc("GET /ledger/proof", s.handleLedgerProof)
 	return s
+}
+
+// Admit loads the distinguisher at path into the registry under name
+// and, when a ledger is configured, appends the admission record — so
+// every model the server will answer for is anchored before it serves
+// its first request. Both the preload path in cmd/served and the
+// POST /models handler go through here.
+func (s *Server) Admit(name, path string) (*Entry, uint64, error) {
+	e, err := s.reg.Load(name, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var seq uint64
+	if s.cfg.Ledger != nil {
+		seq, err = s.cfg.Ledger.Append(ledger.Record{
+			Kind:     ledger.KindAdmit,
+			Model:    e.Name,
+			Version:  e.Version,
+			Scenario: e.Dist.Scenario.Name(),
+			Path:     e.Path,
+			Accuracy: e.Dist.Accuracy,
+		})
+		if err != nil {
+			// The model is loaded but unanchored: refuse the admission
+			// rather than serve verdicts a ledger verifier cannot tie
+			// to an admitted model.
+			s.reg.Remove(name)
+			return nil, 0, fmt.Errorf("serve: ledger append for %q: %w", name, err)
+		}
+	}
+	return e, seq, nil
 }
 
 // Registry exposes the model registry for pre-loading models before
@@ -140,6 +180,11 @@ type distinguishResponse struct {
 	Accuracy        float64 `json:"accuracy"`
 	OfflineAccuracy float64 `json:"offlineAccuracy"`
 	Verdict         string  `json:"verdict"`
+	// LedgerSeq is the verdict's sequence number in the audit ledger
+	// (present only when the server runs with one); GET
+	// /ledger/proof?seq=N returns its offline-verifiable inclusion
+	// proof.
+	LedgerSeq uint64 `json:"ledgerSeq,omitempty"`
 }
 
 type errorResponse struct {
@@ -292,6 +337,26 @@ func (s *Server) handleDistinguish(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	var seq uint64
+	if s.cfg.Ledger != nil {
+		seq, err = s.cfg.Ledger.Append(ledger.Record{
+			Kind:            ledger.KindVerdict,
+			Model:           entry.Name,
+			Version:         entry.Version,
+			Scenario:        entry.Dist.Scenario.Name(),
+			Accuracy:        aPrime,
+			OfflineAccuracy: entry.Dist.Accuracy,
+			Queries:         len(rows),
+			Verdict:         verdict.String(),
+			Sigmas:          sigmas,
+		})
+		if err != nil {
+			// A verdict that cannot be anchored is not served: the
+			// ledger's whole point is that every decision is in it.
+			writeError(w, http.StatusInternalServerError, "ledger append: %v", err)
+			return
+		}
+	}
 	s.latDisting.Observe(time.Since(started).Seconds())
 	writeJSON(w, http.StatusOK, distinguishResponse{
 		Model:           entry.Name,
@@ -300,7 +365,44 @@ func (s *Server) handleDistinguish(w http.ResponseWriter, r *http.Request) {
 		Accuracy:        aPrime,
 		OfflineAccuracy: entry.Dist.Accuracy,
 		Verdict:         verdict.String(),
+		LedgerSeq:       seq,
 	})
+}
+
+// handleLedgerAnchor serves the current anchor — the chain head a
+// client should persist to later verify proofs offline.
+func (s *Server) handleLedgerAnchor(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "this server runs without an audit ledger")
+		return
+	}
+	// Seal pending records so the anchor covers everything served so
+	// far, then hand it out.
+	if err := s.cfg.Ledger.Flush(); err != nil {
+		writeError(w, http.StatusInternalServerError, "ledger flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Ledger.Anchor())
+}
+
+// handleLedgerProof serves the inclusion proof for ?seq=N, verifiable
+// offline against the anchor by cmd/ledgerverify.
+func (s *Server) handleLedgerProof(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "this server runs without an audit ledger")
+		return
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(r.URL.Query().Get("seq"), "%d", &seq); err != nil {
+		writeError(w, http.StatusBadRequest, "seq query parameter must be a record sequence number")
+		return
+	}
+	p, err := s.cfg.Ledger.Proof(seq)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 // modelInfo is the /models listing shape.
@@ -355,7 +457,7 @@ func (s *Server) handleModelsLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "name and path must both be set")
 		return
 	}
-	e, err := s.reg.Load(req.Name, req.Path)
+	e, _, err := s.Admit(req.Name, req.Path)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -394,7 +496,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "served_shed_total %d\n", s.shedded.Value())
 	fmt.Fprintf(&b, "served_timeout_total %d\n", s.timeouts.Value())
 	fmt.Fprintf(&b, "served_queue_depth %d\n", s.sched.QueueLen())
+	fmt.Fprintf(&b, "served_queue_capacity %d\n", s.sched.cfg.QueueDepth)
 	fmt.Fprintf(&b, "served_batches_total %d\n", s.sched.Batches.Value())
+	for _, lv := range s.sched.ModelRequests.Snapshot() {
+		fmt.Fprintf(&b, "served_model_requests_total{model=%q} %d\n", lv.Label, lv.Value)
+	}
+	for _, lv := range s.sched.ModelRows.Snapshot() {
+		fmt.Fprintf(&b, "served_model_rows_total{model=%q} %d\n", lv.Label, lv.Value)
+	}
+	for _, lv := range s.sched.ModelBatches.Snapshot() {
+		fmt.Fprintf(&b, "served_model_batches_total{model=%q} %d\n", lv.Label, lv.Value)
+	}
+	if s.cfg.Ledger != nil {
+		a := s.cfg.Ledger.Anchor()
+		fmt.Fprintf(&b, "served_ledger_records_total %d\n", s.cfg.Ledger.Len())
+		fmt.Fprintf(&b, "served_ledger_sealed_batches_total %d\n", a.Batches)
+	}
 
 	h := s.sched.BatchSizes.Snapshot()
 	cum := uint64(0)

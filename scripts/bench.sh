@@ -67,9 +67,13 @@ trap 'rm -f "$TMP"' EXIT
 # bitsliced cipher kernels behind the packed dataset fast path.
 # internal/serve: the full HTTP classify path through the
 # micro-batching scheduler (BenchmarkServeClassify).
+# internal/ledger: audit-record append throughput (BenchmarkLedgerAppend).
+# internal/cluster: the routed classify path — router handler, HTTP hop
+# to a replica, micro-batched inference (BenchmarkRouterClassify).
 go test . ./internal/nn/ ./internal/prng/ ./internal/gimli/ ./internal/speck/ ./internal/simon/ \
-    ./internal/simeck/ ./internal/chaskey/ ./internal/gift/ ./internal/serve/ -run '^$' \
-    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|Gift64Encrypt|ServeClassify|DrawBatch|SeedStream' \
+    ./internal/simeck/ ./internal/chaskey/ ./internal/gift/ ./internal/serve/ \
+    ./internal/ledger/ ./internal/cluster/ -run '^$' \
+    -bench 'Fit|GenerateDataset|PredictBatch|MatMul|Mul128|PermuteRounds|SpeckEncrypt|SimonEncrypt|SimeckEncrypt|ChaskeyPermute|Gift64Encrypt|ServeClassify|DrawBatch|SeedStream|LedgerAppend|RouterClassify' \
     -benchtime "$BENCHTIME" -benchmem -count "$COUNT" | tee "$TMP"
 
 # Scaling pass: the sharded hot paths again at GOMAXPROCS>1.

@@ -3,9 +3,10 @@
 # repository's concurrency lives in: the sharded dataset generation
 # (internal/core), the goroutine-parallel matrix kernels and the
 # data-parallel training engine with its byte-identity regression
-# tests (internal/nn), and the serving layer's micro-batching
-# scheduler plus its lock-free metrics (internal/serve,
-# internal/metrics). On top of the plain test run this script
+# tests (internal/nn), the serving layer's micro-batching scheduler
+# plus its lock-free metrics (internal/serve, internal/metrics), and
+# the cluster router / audit ledger (internal/cluster,
+# internal/ledger). On top of the plain test run this script
 # executes:
 #
 #   - the internal/testkit conformance suite (KATs for all eight
@@ -28,6 +29,7 @@ go vet ./...
 go test ./...
 go test -race ./internal/nn/... ./internal/core/...
 go test -race ./internal/serve ./internal/metrics
+go test -race ./internal/cluster ./internal/ledger
 go test -race ./internal/simon ./internal/simeck ./internal/chaskey
 
 # --- Conformance suite (testkit): run uncached so KATs re-execute.
@@ -50,7 +52,8 @@ if [[ "${CHECK_FUZZ:-1}" != "0" ]]; then
       "./internal/core FuzzSimonEncrypt" \
       "./internal/core FuzzSimeckEncrypt" \
       "./internal/core FuzzChaskeyPermute" \
-      "./internal/core FuzzGift64Encrypt"; do
+      "./internal/core FuzzGift64Encrypt" \
+      "./internal/ledger FuzzLedgerVerify"; do
     set -- $target
     echo "fuzz smoke: $1 $2 (${FUZZ_SECONDS}s)"
     go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime "${FUZZ_SECONDS}s"
@@ -72,6 +75,8 @@ if [[ "${CHECK_BENCH:-1}" != "0" ]]; then
       -bench 'PermuteRounds|SpeckEncrypt' -benchtime 1x
   go test ./internal/simon/ ./internal/simeck/ ./internal/chaskey/ ./internal/gift/ -run '^$' \
       -bench 'SimonEncrypt|SimeckEncrypt|ChaskeyPermute|Gift64Encrypt' -benchtime 1x
+  go test ./internal/ledger/ ./internal/cluster/ -run '^$' \
+      -bench 'LedgerAppend|RouterClassify' -benchtime 1x
   mapfile -t SNAPS < <(ls BENCH_*.json 2>/dev/null | sort | tail -2)
   if [[ "${#SNAPS[@]}" -eq 2 ]]; then
     # Allocation counts of the steady-state kernels are deterministic
@@ -82,9 +87,12 @@ if [[ "${CHECK_BENCH:-1}" != "0" ]]; then
     # goroutine stack growth and GC-coupled lazy state land in their
     # allocs/op differently from run to run and box to box, which is
     # measurement noise, not a leak.
+    # BenchmarkRouterClassify shares BenchmarkFit's exemption: it
+    # crosses a real HTTP hop twice, so its allocs/op carry connection
+    # and goroutine churn that varies run to run.
     go run ./cmd/benchdiff -compare -max-regress "${BENCH_MAX_REGRESS:-100}" \
         -max-alloc-regress "${BENCH_MAX_ALLOC_REGRESS:-0}" \
-        -alloc-exempt '^BenchmarkFit' \
+        -alloc-exempt '^BenchmarkFit|^BenchmarkRouterClassify' \
         "${SNAPS[0]}" "${SNAPS[1]}"
   fi
 fi
@@ -111,6 +119,8 @@ check_cover ./internal/prng    94.0
 check_cover ./internal/nn      93.7
 check_cover ./internal/serve   85.0
 check_cover ./internal/metrics 90.0
+check_cover ./internal/cluster 85.0
+check_cover ./internal/ledger  85.0
 check_cover ./internal/simon   100.0
 check_cover ./internal/simeck  100.0
 check_cover ./internal/chaskey 100.0
